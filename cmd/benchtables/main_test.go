@@ -1,0 +1,83 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEachTable(t *testing.T) {
+	for _, tab := range []string{"1", "2", "3", "4", "5"} {
+		args := []string{"-table", tab, "-scale", "small", "-repeats", "1"}
+		if tab == "2" || tab == "4" || tab == "5" {
+			args = append(args, "-inputs", "mg1")
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("table %s: %v", tab, err)
+		}
+	}
+}
+
+func TestEachFigure(t *testing.T) {
+	for _, fig := range []string{"3", "4", "7", "8", "9", "10"} {
+		args := []string{"-fig", fig, "-scale", "small", "-inputs", "rgg"}
+		if fig == "10" {
+			args = []string{"-fig", "10", "-scale", "small", "-inputs", "rgg,mg1"}
+		}
+		if err := run(args); err != nil {
+			t.Fatalf("fig %s: %v", fig, err)
+		}
+	}
+}
+
+func TestCSVArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-table", "2", "-inputs", "mg1", "-scale", "small", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-table", "3", "-inputs", "mg1", "-scale", "small", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"table2.csv", "table3.csv"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+	}
+}
+
+func TestNothingSelected(t *testing.T) {
+	if err := run([]string{}); err == nil {
+		t.Fatal("want error when nothing selected")
+	}
+}
+
+func TestBadScale(t *testing.T) {
+	if err := run([]string{"-all", "-scale", "cosmic"}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestBadInputPropagates(t *testing.T) {
+	if err := run([]string{"-table", "2", "-inputs", "bogus"}); err == nil {
+		t.Fatal("want error for unknown input")
+	}
+}
+
+func TestWorkerSweepShape(t *testing.T) {
+	ws := workerSweep()
+	if len(ws) == 0 || ws[0] != 1 {
+		t.Fatalf("sweep %v must start at 1", ws)
+	}
+	for i := 1; i < len(ws); i++ {
+		if ws[i] <= ws[i-1] {
+			t.Fatalf("sweep not increasing: %v", ws)
+		}
+	}
+	if ws[len(ws)-1] < 8 {
+		t.Fatalf("sweep %v must reach at least 8", ws)
+	}
+}

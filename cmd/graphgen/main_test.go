@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"grappolo/internal/graph"
+)
+
+func TestGenerateEdgeList(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.txt")
+	if err := run([]string{"-input", "europe", "-scale", "small", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.N() == 0 || g.EdgeCount() == 0 {
+		t.Fatal("empty graph written")
+	}
+}
+
+func TestGenerateBinary(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	if err := run([]string{"-input", "mg1", "-scale", "small", "-format", "bin", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateMETIS(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.graph")
+	if err := run([]string{"-input", "mg1", "-scale", "small", "-format", "metis", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateRMAT(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "rmat.txt")
+	if err := run([]string{"-rmat", "8", "-edgefactor", "4", "-o", out, "-stats=false"}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := graph.LoadFile(out, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Edge-list round trips drop trailing isolated vertices, so n can fall
+	// slightly below 2^scale when some vertices received no edges.
+	if g.N() < 200 || g.N() > 256 {
+		t.Fatalf("n=%d want ~256", g.N())
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{},                              // no -o
+		{"-o", filepath.Join(dir, "x")}, // no input
+		{"-input", "bogus", "-o", filepath.Join(dir, "x")},                 // unknown input
+		{"-input", "rgg", "-scale", "xl", "-o", filepath.Join(dir, "x")},   // bad scale
+		{"-input", "rgg", "-format", "xml", "-o", filepath.Join(dir, "x")}, // bad format
+		{"-input", "rgg", "-o", "/nonexistent/dir/x"},                      // unwritable
+	}
+	for _, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("args %v: want error", args)
+		}
+	}
+	_ = os.Remove(filepath.Join(dir, "x"))
+}

@@ -1,0 +1,229 @@
+// Command grappolo runs parallel Louvain community detection on a graph
+// loaded from a file or generated from the synthetic input suite, and
+// prints the result summary (and optionally the membership).
+//
+// Usage:
+//
+//	grappolo -file graph.txt -variant vfcolor -workers 8
+//	grappolo -input rgg -scale medium -variant baseline -stats
+//	grappolo -file g.txt -serial            # serial Louvain reference
+//	grappolo -file g.txt -out membership.txt
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/quality"
+	"grappolo/internal/seq"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "grappolo:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("grappolo", flag.ContinueOnError)
+	var (
+		file      = fs.String("file", "", "graph file (edge list, .graph/.metis, or .bin)")
+		input     = fs.String("input", "", "synthetic input name (cnr, copapers, channel, europe, livejournal, mg1, rgg, uk, nlpkkt, mg2, friendster)")
+		scale     = fs.String("scale", "small", "synthetic scale: small | medium | large")
+		seed      = fs.Uint64("seed", 0, "synthetic generator seed")
+		variant   = fs.String("variant", "vfcolor", "parallel variant: baseline | vf | vfcolor")
+		serial    = fs.Bool("serial", false, "run the serial Louvain reference instead")
+		workers   = fs.Int("workers", 0, "worker count (0 = all CPUs)")
+		threshold = fs.Float64("threshold", 0, "final modularity-gain threshold (0 = default 1e-6)")
+		cutoff    = fs.Int("color-cutoff", 0, "coloring vertex cutoff (0 = default 100000)")
+		objective = fs.String("objective", "modularity", "quality function: modularity | cpm")
+		cpmGamma  = fs.Float64("cpm-gamma", 0.5, "CPM resolution parameter (with -objective cpm)")
+		stats     = fs.Bool("stats", false, "print input degree statistics (Table 1 row)")
+		out       = fs.String("out", "", "write 'vertex community' membership lines to this file")
+		hierarchy = fs.Bool("hierarchy", false, "print the community hierarchy (communities per dendrogram level)")
+		compare   = fs.Bool("compare", false, "also run the serial reference and print Table 3-style agreement measures")
+		top       = fs.Int("top", 0, "print per-community stats for the N largest communities")
+		quiet     = fs.Bool("q", false, "suppress per-phase trace")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	g, err := loadGraph(*file, *input, *scale, *seed, *workers)
+	if err != nil {
+		return err
+	}
+	if *stats {
+		fmt.Println(graph.ComputeStats(g))
+	}
+
+	var membership []int32
+	var modularity float64
+	start := time.Now()
+	if *serial {
+		res := seq.Run(g, seq.Options{Threshold: *threshold})
+		membership, modularity = res.Membership, res.Modularity
+		fmt.Printf("serial louvain: n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
+			g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,
+			len(res.Phases), time.Since(start).Round(time.Millisecond))
+	} else {
+		opts, err := variantOptions(*variant, *workers)
+		if err != nil {
+			return err
+		}
+		if *threshold > 0 {
+			opts.FinalThreshold = *threshold
+		}
+		if *cutoff > 0 {
+			opts.ColoringVertexCutoff = *cutoff
+		}
+		opts.KeepHierarchy = *hierarchy
+		switch *objective {
+		case "modularity":
+		case "cpm":
+			opts.Objective = core.ObjCPM
+			opts.CPMGamma = *cpmGamma
+			// CPM is incompatible with VF (Lemma 3 is a modularity result)
+			// and unsupported by the preset variants' preprocessing.
+			opts.VertexFollowing = false
+			opts.VFChainCompression = false
+		default:
+			return fmt.Errorf("unknown objective %q (modularity|cpm)", *objective)
+		}
+		res := core.Run(g, opts)
+		membership, modularity = res.Membership, res.Modularity
+		fmt.Printf("grappolo (%s): n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
+			*variant, g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,
+			len(res.Phases), time.Since(start).Round(time.Millisecond))
+		if !*quiet {
+			for i, ph := range res.Phases {
+				endQ := 0.0
+				if len(ph.Modularity) > 0 {
+					endQ = ph.Modularity[len(ph.Modularity)-1]
+				}
+				fmt.Printf("  phase %d: n=%d iters=%d colored=%v colors=%d Q=%.6f cluster=%s rebuild=%s\n",
+					i+1, ph.VertexCount, ph.Iterations, ph.Colored, ph.NumColors, endQ,
+					ph.ClusterTime.Round(time.Microsecond), ph.RebuildTime.Round(time.Microsecond))
+			}
+			b := res.Timing
+			fmt.Printf("  breakdown: vf=%s coloring=%s clustering=%s rebuild=%s\n",
+				b.VF.Round(time.Microsecond), b.Coloring.Round(time.Microsecond),
+				b.Clustering.Round(time.Microsecond), b.Rebuild.Round(time.Microsecond))
+		}
+		if *hierarchy {
+			for l, level := range res.Levels {
+				distinct := map[int32]bool{}
+				for _, c := range level {
+					distinct[c] = true
+				}
+				fmt.Printf("  level %d: %d communities\n", l+1, len(distinct))
+			}
+		}
+		if *top > 0 {
+			cs, err := core.AnalyzeCommunities(g, res.Membership, *workers)
+			if err != nil {
+				return err
+			}
+			if *top < len(cs) {
+				cs = cs[:*top]
+			}
+			fmt.Printf("  %8s %8s %12s %12s %12s %10s\n",
+				"comm", "size", "intra-w", "cut-w", "conduct", "localQ")
+			for _, c := range cs {
+				fmt.Printf("  %8d %8d %12.2f %12.2f %12.4f %10.4f\n",
+					c.ID, c.Size, c.IntraWeight, c.CutWeight, c.Conductance, c.LocalQ)
+			}
+		}
+	}
+	_ = modularity
+
+	if *compare && !*serial {
+		sres := seq.Run(g, seq.Options{})
+		pc, err := quality.ComparePartitions(sres.Membership, membership)
+		if err != nil {
+			return err
+		}
+		nmi, err := quality.NMI(sres.Membership, membership)
+		if err != nil {
+			return err
+		}
+		fmt.Printf("vs serial (Q=%.6f): %s NMI=%.2f%%\n",
+			sres.Modularity, pc.Derive(), 100*nmi)
+	}
+
+	if *out != "" {
+		if err := writeMembership(*out, membership); err != nil {
+			return err
+		}
+		fmt.Printf("membership written to %s\n", *out)
+	}
+	return nil
+}
+
+func loadGraph(file, input, scale string, seed uint64, workers int) (*graph.Graph, error) {
+	switch {
+	case file != "" && input != "":
+		return nil, fmt.Errorf("use either -file or -input, not both")
+	case file != "":
+		return graph.LoadFile(file, workers)
+	case input != "":
+		sc, err := parseScale(scale)
+		if err != nil {
+			return nil, err
+		}
+		return generate.Generate(generate.Input(input), sc, seed, workers)
+	default:
+		return nil, fmt.Errorf("need -file or -input (see -h)")
+	}
+}
+
+func parseScale(s string) (generate.Scale, error) {
+	switch s {
+	case "small":
+		return generate.Small, nil
+	case "medium":
+		return generate.Medium, nil
+	case "large":
+		return generate.Large, nil
+	default:
+		return 0, fmt.Errorf("unknown scale %q (small|medium|large)", s)
+	}
+}
+
+func variantOptions(v string, workers int) (core.Options, error) {
+	switch v {
+	case "baseline":
+		return core.Baseline(workers), nil
+	case "vf":
+		return core.BaselineVF(workers), nil
+	case "vfcolor":
+		return core.BaselineVFColor(workers), nil
+	default:
+		return core.Options{}, fmt.Errorf("unknown variant %q (baseline|vf|vfcolor)", v)
+	}
+}
+
+func writeMembership(path string, membership []int32) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	w := bufio.NewWriter(f)
+	for v, c := range membership {
+		if _, err := fmt.Fprintf(w, "%d %d\n", v, c); err != nil {
+			return err
+		}
+	}
+	if err := w.Flush(); err != nil {
+		return err
+	}
+	return f.Close()
+}

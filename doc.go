@@ -1,0 +1,25 @@
+// Package grappolo is a Go reproduction of "Parallel heuristics for
+// scalable community detection" (Lu, Halappanavar, Kalyanaraman — IPDPSW
+// 2014 / Parallel Computing 47, 2015): the Grappolo parallel Louvain
+// community-detection system.
+//
+// The implementation lives under internal/:
+//
+//   - internal/core      — the parallel Louvain engine (Algorithm 1) with
+//     the minimum-label, vertex-following and coloring heuristics
+//   - internal/seq       — the serial Louvain reference the paper compares
+//     against
+//   - internal/graph     — weighted undirected CSR graphs and I/O
+//   - internal/coloring  — parallel distance-1/-2 and balanced coloring
+//   - internal/generate  — synthetic analogs of the paper's 11 inputs
+//   - internal/quality   — partition-comparison measures and performance
+//     profiles
+//   - internal/harness   — the experiment runner behind every table/figure
+//   - internal/par       — goroutine worker pools, prefix sums, atomics
+//
+// Executables: cmd/grappolo (CLI), cmd/graphgen (input generator),
+// cmd/benchtables (regenerates every table and figure of the paper).
+// Runnable examples are under examples/. The benchmarks in bench_test.go
+// map one-to-one onto the paper's tables and figures; see DESIGN.md for the
+// experiment index and EXPERIMENTS.md for recorded results.
+package grappolo

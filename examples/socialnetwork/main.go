@@ -1,0 +1,53 @@
+// Social-network example: reproduces the paper's Soc-LiveJournal1 workload
+// shape (hub-skewed social graph, moderate community structure) at medium
+// scale, then sweeps worker counts with the headline variant to show the
+// scaling behaviour of Figs. 3–7, including the runtime breakdown the
+// paper uses to explain sub-linear regions (Fig. 8).
+//
+// Run with: go run ./examples/socialnetwork
+package main
+
+import (
+	"fmt"
+	"runtime"
+	"time"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+func main() {
+	g := generate.MustGenerate(generate.LiveJournal, generate.Medium, 0, 0)
+	st := graph.ComputeStats(g)
+	fmt.Printf("social graph: %s\n", st)
+
+	// Serial reference (the paper's Table 2 comparison).
+	start := time.Now()
+	serial := seq.Run(g, seq.Options{})
+	serialTime := time.Since(start)
+	fmt.Printf("%-10s Q=%.4f communities=%d time=%s\n",
+		"serial", serial.Modularity, serial.NumCommunities, serialTime.Round(time.Millisecond))
+
+	// Thread sweep with baseline+VF+Color.
+	maxW := runtime.GOMAXPROCS(0)
+	fmt.Printf("\n%8s %10s %12s %9s %9s %12s %12s\n",
+		"workers", "Q", "time", "rel", "abs", "clustering", "rebuild")
+	var ref time.Duration
+	for w := 1; w <= maxW; w *= 2 {
+		opts := core.BaselineVFColor(w)
+		opts.ColoringVertexCutoff = 512
+		start = time.Now()
+		res := core.Run(g, opts)
+		elapsed := time.Since(start)
+		if w == 1 {
+			ref = elapsed
+		}
+		fmt.Printf("%8d %10.4f %12s %8.2fx %8.2fx %12s %12s\n",
+			w, res.Modularity, elapsed.Round(time.Millisecond),
+			float64(ref)/float64(elapsed), float64(serialTime)/float64(elapsed),
+			res.Timing.Clustering.Round(time.Millisecond),
+			res.Timing.Rebuild.Round(time.Millisecond))
+	}
+}

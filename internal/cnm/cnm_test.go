@@ -1,0 +1,157 @@
+package cnm
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+	"grappolo/internal/seq"
+)
+
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for base := 0; base <= 5; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+	}
+	b.AddEdge(0, 5, 1)
+	return b.Build(2)
+}
+
+func TestCNMTwoCliques(t *testing.T) {
+	g := twoCliques()
+	res := Run(g, Options{})
+	if res.NumCommunities != 2 {
+		t.Fatalf("found %d communities, want 2 (%v)", res.NumCommunities, res.Membership)
+	}
+	want := 40.0/42.0 - 0.5
+	if math.Abs(res.Modularity-want) > 1e-9 {
+		t.Fatalf("Q=%v want %v", res.Modularity, want)
+	}
+	if err := Validate(res, seq.Modularity(g, res.Membership, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCNMIncrementalQMatchesDirect(t *testing.T) {
+	for _, in := range []generate.Input{generate.CNR, generate.MG1, generate.EuropeOSM} {
+		g := generate.MustGenerate(in, generate.Small, 0, 2)
+		res := Run(g, Options{})
+		direct := seq.Modularity(g, res.Membership, 1)
+		if err := Validate(res, direct); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if res.Modularity <= 0 {
+			t.Fatalf("%s: Q=%v", in, res.Modularity)
+		}
+	}
+}
+
+func TestCNMNeverDecreasesFromSingletons(t *testing.T) {
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 2)
+	res := Run(g, Options{})
+	singletons := make([]int32, g.N())
+	for i := range singletons {
+		singletons[i] = int32(i)
+	}
+	q0 := seq.Modularity(g, singletons, 1)
+	if res.Modularity < q0 {
+		t.Fatalf("CNM ended below the singleton modularity: %v < %v", res.Modularity, q0)
+	}
+}
+
+func TestCNMMaxMerges(t *testing.T) {
+	g := twoCliques()
+	res := Run(g, Options{MaxMerges: 3})
+	if res.Merges != 3 {
+		t.Fatalf("merges=%d want 3", res.Merges)
+	}
+	if res.NumCommunities != 7 {
+		t.Fatalf("communities=%d want 7", res.NumCommunities)
+	}
+}
+
+func TestCNMEdgeCases(t *testing.T) {
+	empty := Run(graph.NewBuilder(0).Build(1), Options{})
+	if empty.NumCommunities != 0 {
+		t.Fatalf("empty: %+v", empty)
+	}
+	edgeless := Run(graph.NewBuilder(4).Build(1), Options{})
+	if edgeless.NumCommunities != 4 || edgeless.Merges != 0 {
+		t.Fatalf("edgeless: %+v", edgeless)
+	}
+	// Self-loop-only graph: no merges possible, Q consistent.
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 0, 2)
+	b.AddEdge(1, 1, 3)
+	g := b.Build(1)
+	res := Run(g, Options{})
+	if res.NumCommunities != 2 {
+		t.Fatalf("self-loops merged: %+v", res)
+	}
+	if err := Validate(res, seq.Modularity(g, res.Membership, 1)); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCNMSingleEdge(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 1, 1)
+	res := Run(b.Build(1), Options{})
+	if res.NumCommunities != 1 {
+		t.Fatalf("single edge: %d communities", res.NumCommunities)
+	}
+	// Q of one community covering everything = 0.
+	if math.Abs(res.Modularity) > 1e-12 {
+		t.Fatalf("Q=%v want 0", res.Modularity)
+	}
+}
+
+func TestCNMPropertyValidAndConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw, mRaw uint16) bool {
+		rng := par.NewRNG(seed)
+		n := int(nRaw%80) + 2
+		b := graph.NewBuilder(n)
+		for e := 0; e < int(mRaw%500); e++ {
+			b.AddEdge(int32(rng.Intn(n)), int32(rng.Intn(n)), 0.5+rng.Float64())
+		}
+		g := b.Build(2)
+		res := Run(g, Options{})
+		if len(res.Membership) != n {
+			return false
+		}
+		direct := seq.Modularity(g, res.Membership, 1)
+		return math.Abs(direct-res.Modularity) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLouvainBeatsOrMatchesCNM(t *testing.T) {
+	// The paper (§7): "the Louvain approach is able to produce communities
+	// with better modularity scores than the other agglomerative
+	// strategies". Allow equality within noise.
+	wins := 0
+	for _, in := range []generate.Input{generate.CNR, generate.CoPapers, generate.MG1} {
+		g := generate.MustGenerate(in, generate.Small, 0, 2)
+		louvain := seq.Run(g, seq.Options{})
+		agglom := Run(g, Options{})
+		if louvain.Modularity < agglom.Modularity-0.03 {
+			t.Fatalf("%s: Louvain %.4f well below CNM %.4f", in, louvain.Modularity, agglom.Modularity)
+		}
+		if louvain.Modularity > agglom.Modularity+1e-9 {
+			wins++
+		}
+		t.Logf("%-10s louvain=%.4f cnm=%.4f", in, louvain.Modularity, agglom.Modularity)
+	}
+	if wins == 0 {
+		t.Log("note: CNM matched Louvain on all three small inputs (paper's claim is input-dependent)")
+	}
+}

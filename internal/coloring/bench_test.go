@@ -1,0 +1,49 @@
+package coloring
+
+import (
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+func BenchmarkParallelColoringRGG(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Parallel(g, 0)
+		if c.NumColors < 2 {
+			b.Fatal("bad coloring")
+		}
+	}
+}
+
+func BenchmarkParallelColoringSkewedWeb(b *testing.B) {
+	g := generate.MustGenerate(generate.UK2002, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Parallel(g, 0)
+		if c.NumColors < 2 {
+			b.Fatal("bad coloring")
+		}
+	}
+}
+
+func BenchmarkGreedySerialRGG(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := Greedy(g)
+		if c.NumColors < 2 {
+			b.Fatal("bad coloring")
+		}
+	}
+}
+
+func BenchmarkBalancedRebalance(b *testing.B) {
+	g := generate.MustGenerate(generate.UK2002, generate.Medium, 0, 0)
+	base := Parallel(g, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Balanced(g, base, 0)
+	}
+}

@@ -1,0 +1,354 @@
+// Package coloring implements the parallel graph-coloring preprocessing the
+// paper uses to serialize conflicting community updates (§5.2): vertices of
+// one color form an independent set, so processing one color set at a time
+// (parallel within the set) guarantees no two adjacent vertices decide
+// concurrently.
+//
+// The parallel algorithm is the speculate-and-resolve greedy of Catalyürek
+// et al. (the paper's reference [12]): all uncolored vertices pick the
+// smallest color not used by their neighbors concurrently (tentatively),
+// then conflicts (adjacent equal colors) are detected and the loser is
+// uncolored for the next round. The package also provides the balanced
+// variant the paper proposes as future work for skewed color-set sizes
+// (§6.2, uk-2002 discussion) and a distance-2 option (§5.2 mentions
+// distance-k coloring).
+package coloring
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// Coloring is the result of a coloring run: a color per vertex in
+// [0, NumColors) and the vertex sets grouped by color.
+type Coloring struct {
+	Colors    []int32   // color of each vertex
+	NumColors int       // number of distinct colors
+	Sets      [][]int32 // Sets[c] lists the vertices of color c, ascending
+	Rounds    int       // speculative rounds used (1 for serial greedy)
+}
+
+// Stats summarizes a coloring's color-set size distribution. The paper uses
+// the count and relative standard deviation of set sizes to explain the
+// poor speedup on uk-2002 (943 colors, RSD 18.876).
+type Stats struct {
+	NumColors int
+	MaxSet    int
+	MinSet    int
+	AvgSet    float64
+	RSD       float64 // stddev(set size) / mean(set size)
+}
+
+// ComputeStats derives the size-distribution statistics of c.
+func (c *Coloring) ComputeStats() Stats {
+	st := Stats{NumColors: c.NumColors, MinSet: math.MaxInt}
+	if c.NumColors == 0 {
+		st.MinSet = 0
+		return st
+	}
+	var sum, sumSq float64
+	for _, set := range c.Sets {
+		s := len(set)
+		if s > st.MaxSet {
+			st.MaxSet = s
+		}
+		if s < st.MinSet {
+			st.MinSet = s
+		}
+		sum += float64(s)
+		sumSq += float64(s) * float64(s)
+	}
+	mean := sum / float64(c.NumColors)
+	st.AvgSet = mean
+	variance := sumSq/float64(c.NumColors) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if mean > 0 {
+		st.RSD = math.Sqrt(variance) / mean
+	}
+	return st
+}
+
+// String renders the stats compactly.
+func (s Stats) String() string {
+	return fmt.Sprintf("colors=%d sizes[min=%d avg=%.1f max=%d] rsd=%.3f",
+		s.NumColors, s.MinSet, s.AvgSet, s.MaxSet, s.RSD)
+}
+
+// load/store wrap atomic access to the shared tentative-color array; the
+// speculative phase reads neighbors' colors while other workers assign
+// theirs, exactly like the OpenMP original, and the atomics make that
+// well-defined under the Go memory model.
+func load(colors []int32, i int32) int32 { return atomic.LoadInt32(&colors[i]) }
+func store(colors []int32, i, c int32)   { atomic.StoreInt32(&colors[i], c) }
+
+// Greedy computes a serial first-fit distance-1 coloring in vertex order.
+// It is the reference implementation used by tests and small graphs.
+func Greedy(g *graph.Graph) *Coloring {
+	n := g.N()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	var mark []bool
+	numColors := 0
+	for i := 0; i < n; i++ {
+		nbr, _ := g.Neighbors(i)
+		if len(mark) < numColors+1 {
+			mark = make([]bool, numColors+1)
+		}
+		use := mark[:numColors+1]
+		for t := range use {
+			use[t] = false
+		}
+		for _, j := range nbr {
+			if int(j) != i && colors[j] >= 0 {
+				use[colors[j]] = true
+			}
+		}
+		c := int32(0)
+		for int(c) < len(use) && use[c] {
+			c++
+		}
+		colors[i] = c
+		if int(c) == numColors {
+			numColors++
+		}
+	}
+	return assemble(colors, numColors, 1)
+}
+
+// Parallel computes a distance-1 coloring with p workers using speculative
+// rounds. The result is a valid coloring for any schedule; the exact colors
+// may vary with p (as the paper notes for its coloring-dependent outputs).
+func Parallel(g *graph.Graph, p int) *Coloring {
+	n := g.N()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	worklist := make([]int32, n)
+	for i := range worklist {
+		worklist[i] = int32(i)
+	}
+	rounds := 0
+	for len(worklist) > 0 {
+		rounds++
+		// Phase 1: speculative tentative coloring of every worklist vertex.
+		// Neighbor colors move under our feet (by design); the bound checks
+		// below tolerate colors that grew after the mark array was sized.
+		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
+			var mark []bool
+			for t := lo; t < hi; t++ {
+				i := worklist[t]
+				nbr, _ := g.Neighbors(int(i))
+				need := 0
+				for _, j := range nbr {
+					if c := int(load(colors, j)); c > need {
+						need = c
+					}
+				}
+				if len(mark) < need+2 {
+					mark = make([]bool, need+2)
+				}
+				use := mark[:need+2]
+				for t2 := range use {
+					use[t2] = false
+				}
+				for _, j := range nbr {
+					if j != i {
+						if c := load(colors, j); c >= 0 && int(c) < len(use) {
+							use[c] = true
+						}
+					}
+				}
+				c := int32(0)
+				for int(c) < len(use) && use[c] {
+					c++
+				}
+				store(colors, i, c)
+			}
+		})
+		// Phase 2: conflict detection. Colors are stable during this phase;
+		// of two adjacent same-colored vertices the higher id loses and is
+		// recolored next round.
+		conflictFlags := make([]bool, len(worklist))
+		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := worklist[t]
+				nbr, _ := g.Neighbors(int(i))
+				for _, j := range nbr {
+					if j != i && colors[j] == colors[i] && i > j {
+						conflictFlags[t] = true
+						break
+					}
+				}
+			}
+		})
+		next := worklist[:0]
+		for t, f := range conflictFlags {
+			if f {
+				next = append(next, worklist[t])
+			}
+		}
+		for _, i := range next {
+			colors[i] = -1
+		}
+		worklist = next
+	}
+	numColors := 0
+	for _, c := range colors {
+		if int(c)+1 > numColors {
+			numColors = int(c) + 1
+		}
+	}
+	return assemble(colors, numColors, rounds)
+}
+
+// ParallelDistance2 computes a distance-2 coloring (no vertex shares a color
+// with any vertex at distance <= 2) with the same speculative scheme. The
+// paper (§5.2) discusses distance-k coloring as a stricter variant; it is
+// exposed for ablation studies.
+func ParallelDistance2(g *graph.Graph, p int) *Coloring {
+	n := g.N()
+	colors := make([]int32, n)
+	for i := range colors {
+		colors[i] = -1
+	}
+	worklist := make([]int32, n)
+	for i := range worklist {
+		worklist[i] = int32(i)
+	}
+	rounds := 0
+	for len(worklist) > 0 {
+		rounds++
+		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
+			used := map[int32]bool{}
+			for t := lo; t < hi; t++ {
+				i := worklist[t]
+				clear(used)
+				nbr, _ := g.Neighbors(int(i))
+				for _, j := range nbr {
+					if j != i {
+						if c := load(colors, j); c >= 0 {
+							used[c] = true
+						}
+					}
+					nbr2, _ := g.Neighbors(int(j))
+					for _, k := range nbr2 {
+						if k != i {
+							if c := load(colors, k); c >= 0 {
+								used[c] = true
+							}
+						}
+					}
+				}
+				c := int32(0)
+				for used[c] {
+					c++
+				}
+				store(colors, i, c)
+			}
+		})
+		conflictFlags := make([]bool, len(worklist))
+		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
+			for t := lo; t < hi; t++ {
+				i := worklist[t]
+				conflict := false
+				check := func(k int32) {
+					if k != i && colors[k] == colors[i] && i > k {
+						conflict = true
+					}
+				}
+				nbr, _ := g.Neighbors(int(i))
+				for _, j := range nbr {
+					if conflict {
+						break
+					}
+					check(j)
+					nbr2, _ := g.Neighbors(int(j))
+					for _, k := range nbr2 {
+						check(k)
+					}
+				}
+				conflictFlags[t] = conflict
+			}
+		})
+		next := worklist[:0]
+		for t, f := range conflictFlags {
+			if f {
+				next = append(next, worklist[t])
+			}
+		}
+		for _, i := range next {
+			colors[i] = -1
+		}
+		worklist = next
+	}
+	numColors := 0
+	for _, c := range colors {
+		if int(c)+1 > numColors {
+			numColors = int(c) + 1
+		}
+	}
+	return assemble(colors, numColors, rounds)
+}
+
+// Verify checks that colors form a valid distance-1 coloring of g.
+func Verify(g *graph.Graph, colors []int32) error {
+	if len(colors) != g.N() {
+		return fmt.Errorf("coloring: length %d != n %d", len(colors), g.N())
+	}
+	for i := 0; i < g.N(); i++ {
+		if colors[i] < 0 {
+			return fmt.Errorf("coloring: vertex %d uncolored", i)
+		}
+		nbr, _ := g.Neighbors(i)
+		for _, j := range nbr {
+			if int(j) != i && colors[j] == colors[i] {
+				return fmt.Errorf("coloring: conflict on edge {%d,%d} color %d", i, j, colors[i])
+			}
+		}
+	}
+	return nil
+}
+
+// VerifyDistance2 checks that no two distinct vertices at distance <= 2
+// share a color.
+func VerifyDistance2(g *graph.Graph, colors []int32) error {
+	if err := Verify(g, colors); err != nil {
+		return err
+	}
+	for i := 0; i < g.N(); i++ {
+		nbr, _ := g.Neighbors(i)
+		for _, j := range nbr {
+			nbr2, _ := g.Neighbors(int(j))
+			for _, k := range nbr2 {
+				if int(k) != i && colors[k] == colors[i] {
+					return fmt.Errorf("coloring: distance-2 conflict %d..%d via %d", i, k, j)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func assemble(colors []int32, numColors, rounds int) *Coloring {
+	sets := make([][]int32, numColors)
+	counts := make([]int, numColors)
+	for _, c := range colors {
+		counts[c]++
+	}
+	for c := range sets {
+		sets[c] = make([]int32, 0, counts[c])
+	}
+	for i, c := range colors {
+		sets[c] = append(sets[c], int32(i))
+	}
+	return &Coloring{Colors: colors, NumColors: numColors, Sets: sets, Rounds: rounds}
+}

@@ -1,0 +1,82 @@
+package coloring
+
+import (
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+func TestJonesPlassmannValidOnSuite(t *testing.T) {
+	for _, in := range []generate.Input{generate.CNR, generate.RGG, generate.Channel} {
+		g := generate.MustGenerate(in, generate.Small, 0, 4)
+		c := JonesPlassmann(g, 4, 1)
+		if err := Verify(g, c.Colors); err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if c.Rounds < 1 {
+			t.Fatalf("%s: rounds=%d", in, c.Rounds)
+		}
+	}
+}
+
+func TestJonesPlassmannDeterministicAcrossWorkers(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 4)
+	a := JonesPlassmann(g, 1, 7)
+	b := JonesPlassmann(g, 8, 7)
+	for i := range a.Colors {
+		if a.Colors[i] != b.Colors[i] {
+			t.Fatalf("colors differ at %d for different worker counts", i)
+		}
+	}
+	c := JonesPlassmann(g, 4, 8) // different seed → (almost surely) different coloring
+	same := true
+	for i := range a.Colors {
+		if a.Colors[i] != c.Colors[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Log("different seeds produced identical colorings (possible, unlikely)")
+	}
+}
+
+func TestJonesPlassmannPathAndClique(t *testing.T) {
+	p := path(30)
+	c := JonesPlassmann(p, 4, 3)
+	if err := Verify(p, c.Colors); err != nil {
+		t.Fatal(err)
+	}
+	k := clique(6)
+	ck := JonesPlassmann(k, 4, 3)
+	if err := Verify(k, ck.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if ck.NumColors != 6 {
+		t.Fatalf("K6 colored with %d colors", ck.NumColors)
+	}
+}
+
+func TestJonesPlassmannEmpty(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 1)
+	_ = g
+	c := JonesPlassmann(path(0), 2, 1)
+	if c.NumColors != 0 {
+		t.Fatalf("empty: %+v", c)
+	}
+}
+
+func TestJonesPlassmannVsSpeculativeColorCount(t *testing.T) {
+	// Both must be valid; color counts are typically within a small factor.
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 4)
+	jp := JonesPlassmann(g, 4, 1)
+	sp := Parallel(g, 4)
+	if err := Verify(g, jp.Colors); err != nil {
+		t.Fatal(err)
+	}
+	if jp.NumColors > 3*sp.NumColors+4 {
+		t.Fatalf("JP used %d colors vs speculative %d", jp.NumColors, sp.NumColors)
+	}
+	t.Logf("colors: jones-plassmann=%d (rounds=%d) speculative=%d (rounds=%d)",
+		jp.NumColors, jp.Rounds, sp.NumColors, sp.Rounds)
+}

@@ -1,0 +1,86 @@
+package core
+
+import (
+	"testing"
+
+	"grappolo/internal/coloring"
+	"grappolo/internal/generate"
+)
+
+func BenchmarkSweepUncolored(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sweepUncolored(0)
+	}
+}
+
+func BenchmarkSweepColored(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	cs := coloring.Parallel(g, 0)
+	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sweepColored(cs.Sets, 0)
+	}
+}
+
+func BenchmarkSweepAsyncPLM(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	st := newPhaseState(g, PLM(0), nil, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sweepAsync(0)
+	}
+}
+
+func BenchmarkRebuildParallel(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	res := Run(g, Options{MaxPhases: 1, Workers: 0}.Defaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rebuild(g, res.Membership, res.NumCommunities, 0)
+	}
+}
+
+func BenchmarkVertexFollow(b *testing.B) {
+	g := generate.MustGenerate(generate.EuropeOSM, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _, _ = vertexFollow(g, 0, false)
+	}
+}
+
+func BenchmarkModularityParallelKernel(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	res := Run(g, Options{Workers: 0}.Defaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Modularity(g, res.Membership, 1, 0)
+	}
+}
+
+func BenchmarkFullRunVFColorMedium(b *testing.B) {
+	g := generate.MustGenerate(generate.LiveJournal, generate.Medium, 0, 0)
+	o := BaselineVFColor(0)
+	o.ColoringVertexCutoff = 512
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, o)
+		if res.Modularity <= 0 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+func BenchmarkAnalyzeCommunities(b *testing.B) {
+	g := generate.MustGenerate(generate.MG2, generate.Medium, 0, 0)
+	res := Run(g, Options{Workers: 0}.Defaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := AnalyzeCommunities(g, res.Membership, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

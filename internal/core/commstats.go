@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// CommunityStats summarizes one detected community on the original graph:
+// the quantities users inspect after detection and the ingredients of the
+// per-community modularity terms in Eq. (3).
+type CommunityStats struct {
+	ID   int32
+	Size int
+	// IntraWeight is the total weight of internal edges (each undirected
+	// edge counted once; self-loops once).
+	IntraWeight float64
+	// CutWeight is the total weight of edges leaving the community.
+	CutWeight float64
+	// Degree is a_C, the sum of member weighted degrees.
+	Degree float64
+	// Conductance = cut / min(vol, 2m - vol), the standard cut-quality
+	// score (0 = perfectly isolated community). Degenerate cases score 0.
+	Conductance float64
+	// LocalQ is this community's additive contribution to modularity:
+	// in/m - (a_C/2m)² with the convention in = intra counted once.
+	LocalQ float64
+}
+
+// AnalyzeCommunities computes per-community statistics for a membership on
+// g, sorted by descending size. Runs in parallel over vertices.
+func AnalyzeCommunities(g *graph.Graph, membership []int32, workers int) ([]CommunityStats, error) {
+	n := g.N()
+	if len(membership) != n {
+		return nil, fmt.Errorf("core: membership length %d != n %d", len(membership), n)
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	numComm := int(maxInt32(membership)) + 1
+	size := make([]int64, numComm)
+	deg := make([]float64, numComm)
+	intra2 := make([]float64, numComm) // internal arcs: 2×(non-loop edges) + loops
+	loops := make([]float64, numComm)  // self-loop weight, for exact edge sums
+	cut := make([]float64, numComm)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			ci := membership[i]
+			if ci < 0 || int(ci) >= numComm {
+				continue // caught below via the validity scan
+			}
+			atomicAdd64(&size[ci], 1)
+			par.AddFloat64(&deg[ci], g.Degree(i))
+			nbr, wts := g.Neighbors(i)
+			for t, j := range nbr {
+				switch {
+				case int(j) == i:
+					par.AddFloat64(&intra2[ci], wts[t])
+					par.AddFloat64(&loops[ci], wts[t])
+				case membership[j] == ci:
+					par.AddFloat64(&intra2[ci], wts[t])
+				default:
+					par.AddFloat64(&cut[ci], wts[t])
+				}
+			}
+		}
+	})
+	for v, c := range membership {
+		if c < 0 || int(c) >= numComm {
+			return nil, fmt.Errorf("core: vertex %d has invalid community %d", v, c)
+		}
+	}
+	m2 := g.TotalWeight()
+	out := make([]CommunityStats, 0, numComm)
+	for c := 0; c < numComm; c++ {
+		if size[c] == 0 {
+			continue
+		}
+		cs := CommunityStats{
+			ID:          int32(c),
+			Size:        int(size[c]),
+			IntraWeight: (intra2[c] + loops[c]) / 2,
+			CutWeight:   cut[c],
+			Degree:      deg[c],
+		}
+		vol := deg[c]
+		other := m2 - vol
+		denom := vol
+		if other < denom {
+			denom = other
+		}
+		if denom > 0 {
+			cs.Conductance = cut[c] / denom
+		}
+		if m2 > 0 {
+			frac := deg[c] / m2
+			cs.LocalQ = intra2[c]/m2 - frac*frac
+		}
+		out = append(out, cs)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Size != out[j].Size {
+			return out[i].Size > out[j].Size
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out, nil
+}
+
+// CommunitySizes returns the size of each community id present in the
+// membership, as a map.
+func CommunitySizes(membership []int32) map[int32]int {
+	out := make(map[int32]int)
+	for _, c := range membership {
+		out[c]++
+	}
+	return out
+}

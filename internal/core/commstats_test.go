@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+func TestAnalyzeCommunitiesTwoCliques(t *testing.T) {
+	g := twoCliques()
+	membership := make([]int32, 10)
+	for i := 5; i < 10; i++ {
+		membership[i] = 1
+	}
+	stats, err := AnalyzeCommunities(g, membership, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 2 {
+		t.Fatalf("%d communities", len(stats))
+	}
+	for _, cs := range stats {
+		if cs.Size != 5 {
+			t.Fatalf("size %d want 5", cs.Size)
+		}
+		if cs.IntraWeight != 10 { // K5 has 10 edges
+			t.Fatalf("intra %v want 10", cs.IntraWeight)
+		}
+		if cs.CutWeight != 1 { // one bridge
+			t.Fatalf("cut %v want 1", cs.CutWeight)
+		}
+		if cs.Degree != 21 {
+			t.Fatalf("a_C %v want 21", cs.Degree)
+		}
+		// conductance = 1 / min(21, 42-21) = 1/21
+		if math.Abs(cs.Conductance-1.0/21.0) > 1e-12 {
+			t.Fatalf("conductance %v", cs.Conductance)
+		}
+	}
+	// LocalQ terms must sum to the partition modularity.
+	sum := 0.0
+	for _, cs := range stats {
+		sum += cs.LocalQ
+	}
+	q := seq.Modularity(g, membership, 1)
+	if math.Abs(sum-q) > 1e-12 {
+		t.Fatalf("ΣLocalQ=%v but Q=%v", sum, q)
+	}
+}
+
+func TestAnalyzeCommunitiesSelfLoops(t *testing.T) {
+	b := graph.NewBuilder(2)
+	b.AddEdge(0, 0, 4)
+	b.AddEdge(0, 1, 1)
+	g := b.Build(1)
+	stats, err := AnalyzeCommunities(g, []int32{0, 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != 1 {
+		t.Fatalf("%d communities", len(stats))
+	}
+	cs := stats[0]
+	if cs.IntraWeight != 5 { // loop 4 + edge 1
+		t.Fatalf("intra %v want 5", cs.IntraWeight)
+	}
+	if cs.CutWeight != 0 || cs.Conductance != 0 {
+		t.Fatalf("cut %v cond %v", cs.CutWeight, cs.Conductance)
+	}
+	// Single community covering everything: LocalQ = 1 - 1 = 0.
+	if math.Abs(cs.LocalQ) > 1e-12 {
+		t.Fatalf("LocalQ %v want 0", cs.LocalQ)
+	}
+}
+
+func TestAnalyzeCommunitiesSortedBySize(t *testing.T) {
+	g := generate.MustGenerate(generate.MG1, generate.Small, 0, 4)
+	res := Run(g, smallOpts(4))
+	stats, err := AnalyzeCommunities(g, res.Membership, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stats) != res.NumCommunities {
+		t.Fatalf("%d stats for %d communities", len(stats), res.NumCommunities)
+	}
+	totalSize := 0
+	sumQ := 0.0
+	for i, cs := range stats {
+		if i > 0 && cs.Size > stats[i-1].Size {
+			t.Fatal("not sorted by descending size")
+		}
+		totalSize += cs.Size
+		sumQ += cs.LocalQ
+	}
+	if totalSize != g.N() {
+		t.Fatalf("sizes sum to %d != n %d", totalSize, g.N())
+	}
+	if math.Abs(sumQ-res.Modularity) > 1e-9 {
+		t.Fatalf("ΣLocalQ=%v != Q=%v", sumQ, res.Modularity)
+	}
+}
+
+func TestAnalyzeCommunitiesErrors(t *testing.T) {
+	g := twoCliques()
+	if _, err := AnalyzeCommunities(g, []int32{0}, 2); err == nil {
+		t.Fatal("want length error")
+	}
+	bad := make([]int32, 10)
+	bad[3] = -1
+	if _, err := AnalyzeCommunities(g, bad, 2); err == nil {
+		t.Fatal("want invalid-community error")
+	}
+	empty := graph.NewBuilder(0).Build(1)
+	stats, err := AnalyzeCommunities(empty, nil, 2)
+	if err != nil || stats != nil {
+		t.Fatalf("empty graph: %v %v", stats, err)
+	}
+}
+
+func TestCommunitySizes(t *testing.T) {
+	sizes := CommunitySizes([]int32{0, 1, 1, 2, 2, 2})
+	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+		t.Fatalf("%v", sizes)
+	}
+}

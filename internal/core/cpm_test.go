@@ -1,0 +1,123 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+func ringOfCliques(k, s int) *graph.Graph {
+	b := graph.NewBuilder(k * s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+		next := ((c + 1) % k) * s
+		b.AddEdge(int32(base), int32(next), 1)
+	}
+	return b.Build(2)
+}
+
+func cpmOpts(workers int, gamma float64) Options {
+	o := Baseline(workers)
+	o.Objective = ObjCPM
+	o.CPMGamma = gamma
+	return o
+}
+
+func TestParallelCPMRecoversRingCliques(t *testing.T) {
+	const k, s = 30, 5
+	g := ringOfCliques(k, s)
+	res := Run(g, cpmOpts(4, 0.5))
+	if res.NumCommunities != k {
+		t.Fatalf("parallel CPM found %d communities, want %d", res.NumCommunities, k)
+	}
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 1; i < s; i++ {
+			if res.Membership[base+i] != res.Membership[base] {
+				t.Fatalf("clique %d split", c)
+			}
+		}
+	}
+}
+
+func TestParallelCPMAvoidsResolutionLimit(t *testing.T) {
+	const k, s = 30, 5
+	g := ringOfCliques(k, s)
+	mod := Run(g, smallOpts(4))
+	cpm := Run(g, cpmOpts(4, 0.5))
+	if mod.NumCommunities >= k {
+		t.Fatalf("modularity found %d >= %d (resolution limit should merge cliques)",
+			mod.NumCommunities, k)
+	}
+	if cpm.NumCommunities != k {
+		t.Fatalf("CPM found %d communities, want %d", cpm.NumCommunities, k)
+	}
+}
+
+func TestParallelCPMMatchesSerialCPM(t *testing.T) {
+	g := ringOfCliques(12, 6)
+	par := Run(g, cpmOpts(4, 0.5))
+	ser := seq.RunCPM(g, seq.CPMOptions{Gamma: 0.5})
+	// Both optimizers should land on the clique partition; scores must
+	// agree via the shared scorer.
+	pScore := seq.CPMScore(g, par.Membership, 0.5)
+	if math.Abs(pScore-par.Modularity) > 1e-9 {
+		t.Fatalf("core reported %v but CPMScore gives %v", par.Modularity, pScore)
+	}
+	if math.Abs(pScore-ser.Score) > 0.05 {
+		t.Fatalf("parallel CPM score %.4f far from serial %.4f", pScore, ser.Score)
+	}
+}
+
+func TestParallelCPMColoredVariant(t *testing.T) {
+	g := ringOfCliques(20, 5)
+	o := cpmOpts(4, 0.5)
+	o.Coloring = ColorMultiPhase
+	o.ColoringVertexCutoff = 1
+	res := Run(g, o)
+	if res.NumCommunities != 20 {
+		t.Fatalf("colored CPM found %d communities, want 20", res.NumCommunities)
+	}
+}
+
+func TestParallelCPMDeterministicUncolored(t *testing.T) {
+	g := ringOfCliques(15, 4)
+	a := Run(g, cpmOpts(1, 0.5))
+	b := Run(g, cpmOpts(8, 0.5))
+	for i := range a.Membership {
+		if a.Membership[i] != b.Membership[i] {
+			t.Fatalf("CPM membership differs at %d across worker counts", i)
+		}
+	}
+}
+
+func TestCPMOptionGuards(t *testing.T) {
+	g := ringOfCliques(3, 3)
+	assertPanics(t, func() {
+		o := Baseline(2)
+		o.Objective = ObjCPM // no gamma
+		Run(g, o)
+	})
+	assertPanics(t, func() {
+		o := cpmOpts(2, 0.5)
+		o.VertexFollowing = true
+		Run(g, o)
+	})
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,112 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/coloring"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+	"grappolo/internal/seq"
+)
+
+// randomGraph builds an arbitrary valid weighted graph (self-loops,
+// isolated vertices, duplicate edges all possible) from fuzz inputs.
+func randomGraph(seed uint64, nRaw, mRaw uint16) *graph.Graph {
+	rng := par.NewRNG(seed)
+	n := int(nRaw%300) + 2
+	m := int(mRaw % 2000)
+	b := graph.NewBuilder(n)
+	for e := 0; e < m; e++ {
+		u := int32(rng.Intn(n))
+		v := int32(rng.Intn(n))
+		w := 0.25 + rng.Float64()*4
+		b.AddEdge(u, v, w)
+	}
+	return b.Build(4)
+}
+
+// TestPipelineFuzz pushes arbitrary graphs through every variant and checks
+// the cross-cutting invariants: valid dense membership, reported modularity
+// equals recomputed modularity, Q <= 1, and the graph itself survives
+// unmodified.
+func TestPipelineFuzz(t *testing.T) {
+	variants := []func() Options{
+		func() Options { return smallOpts(4) },
+		func() Options { return withVF(smallOpts(3)) },
+		func() Options { return withColor(withVF(smallOpts(4))) },
+		func() Options { return withChain(withVF(smallOpts(2))) },
+		func() Options { return PLM(4) },
+	}
+	f := func(seed uint64, nRaw, mRaw uint16, variantRaw uint8) bool {
+		g := randomGraph(seed, nRaw, mRaw)
+		before := g.TotalWeight()
+		opts := variants[int(variantRaw)%len(variants)]()
+		res := Run(g, opts)
+		if len(res.Membership) != g.N() {
+			t.Logf("membership length %d != %d", len(res.Membership), g.N())
+			return false
+		}
+		seen := map[int32]bool{}
+		for _, c := range res.Membership {
+			if c < 0 || int(c) >= g.N() {
+				t.Logf("community %d out of range", c)
+				return false
+			}
+			seen[c] = true
+		}
+		if len(seen) != res.NumCommunities {
+			t.Logf("NumCommunities=%d distinct=%d", res.NumCommunities, len(seen))
+			return false
+		}
+		q := seq.Modularity(g, res.Membership, 1)
+		if math.Abs(q-res.Modularity) > 1e-9 {
+			t.Logf("Q mismatch: %v vs %v", res.Modularity, q)
+			return false
+		}
+		if q > 1+1e-12 {
+			t.Logf("Q=%v > 1", q)
+			return false
+		}
+		if g.TotalWeight() != before {
+			t.Log("input graph mutated")
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestColoredSweepAggregateConsistency verifies that the atomically
+// maintained community degrees and sizes equal a from-scratch recount after
+// every colored iteration — the invariant that makes lock-free updates safe.
+func TestColoredSweepAggregateConsistency(t *testing.T) {
+	g := randomGraph(77, 200, 1500)
+	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 4)
+	cs := coloring.Parallel(g, 4)
+	if err := coloring.Verify(g, cs.Colors); err != nil {
+		t.Fatal(err)
+	}
+	for iter := 0; iter < 3; iter++ {
+		st.sweepColored(cs.Sets, 4)
+		// Recount from scratch.
+		n := g.N()
+		wantDeg := make([]float64, n)
+		wantSize := make([]int64, n)
+		for i := 0; i < n; i++ {
+			wantDeg[st.curr[i]] += g.Degree(i)
+			wantSize[st.curr[i]]++
+		}
+		for c := 0; c < n; c++ {
+			if math.Abs(wantDeg[c]-st.commDeg[c]) > 1e-6 {
+				t.Fatalf("iter %d: commDeg[%d]=%v want %v", iter, c, st.commDeg[c], wantDeg[c])
+			}
+			if wantSize[c] != st.size[c] {
+				t.Fatalf("iter %d: size[%d]=%d want %d", iter, c, st.size[c], wantSize[c])
+			}
+		}
+	}
+}

@@ -1,0 +1,46 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+// Golden regression values for the DETERMINISTIC configurations (uncolored
+// variants are bit-stable for any worker count; the graph builder is
+// bit-deterministic too). If an intentional algorithm change shifts these,
+// re-derive them with `go test -run Golden -v` and update — any
+// unintentional shift is a regression.
+func TestGoldenDeterministicRuns(t *testing.T) {
+	type golden struct {
+		in      generate.Input
+		variant string
+		nc      int
+		qPrefix string // Q truncated to 6 decimals as a string
+	}
+	cases := []golden{
+		{generate.CNR, "baseline", 19, "0.871702"},
+		{generate.CNR, "vf", 19, "0.871702"},
+		{generate.EuropeOSM, "baseline", 32, "0.927783"},
+		{generate.EuropeOSM, "vf", 34, "0.925659"},
+		{generate.MG1, "baseline", 20, "0.936237"},
+		{generate.LiveJournal, "baseline", 24, "0.832207"},
+	}
+	for _, c := range cases {
+		g := generate.MustGenerate(c.in, generate.Small, 0, 4)
+		var o Options
+		switch c.variant {
+		case "baseline":
+			o = smallOpts(4)
+		case "vf":
+			o = withVF(smallOpts(4))
+		}
+		res := Run(g, o)
+		got := fmt.Sprintf("%.6f", res.Modularity)
+		if res.NumCommunities != c.nc || got != c.qPrefix {
+			t.Errorf("%s/%s: got nc=%d Q=%s, golden nc=%d Q=%s",
+				c.in, c.variant, res.NumCommunities, got, c.nc, c.qPrefix)
+		}
+	}
+}

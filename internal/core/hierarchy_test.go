@@ -1,0 +1,98 @@
+package core
+
+import (
+	"testing"
+
+	"grappolo/internal/generate"
+	"grappolo/internal/quality"
+	"grappolo/internal/seq"
+)
+
+func TestKeepHierarchyLevels(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 4)
+	o := smallOpts(4)
+	o.KeepHierarchy = true
+	res := Run(g, o)
+	if len(res.Levels) != len(res.Phases) {
+		t.Fatalf("%d levels for %d phases", len(res.Levels), len(res.Phases))
+	}
+	last := res.Levels[len(res.Levels)-1]
+	for i := range last {
+		if last[i] != res.Membership[i] {
+			t.Fatal("last level must equal final membership")
+		}
+	}
+}
+
+func TestHierarchyIsNested(t *testing.T) {
+	// Each coarser level must be a function of the previous level: two
+	// vertices together at level k stay together at every level > k
+	// (Louvain phases only merge communities, never split them).
+	g := generate.MustGenerate(generate.MG1, generate.Small, 0, 4)
+	o := smallOpts(4)
+	o.KeepHierarchy = true
+	res := Run(g, o)
+	for l := 1; l < len(res.Levels); l++ {
+		prev, next := res.Levels[l-1], res.Levels[l]
+		mapping := make(map[int32]int32)
+		for v := range prev {
+			if to, ok := mapping[prev[v]]; ok {
+				if next[v] != to {
+					t.Fatalf("level %d splits community %d of level %d", l, prev[v], l-1)
+				}
+			} else {
+				mapping[prev[v]] = next[v]
+			}
+		}
+	}
+}
+
+func TestHierarchyModularityNonDecreasingAcrossLevels(t *testing.T) {
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 4)
+	o := smallOpts(4)
+	o.KeepHierarchy = true
+	res := Run(g, o)
+	prevQ := -1.0
+	for l, level := range res.Levels {
+		q := seq.Modularity(g, level, 1)
+		if q < prevQ-1e-9 {
+			t.Fatalf("level %d modularity %v < previous %v", l, q, prevQ)
+		}
+		prevQ = q
+	}
+}
+
+func TestHierarchyOffByDefault(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	res := Run(g, smallOpts(2))
+	if res.Levels != nil {
+		t.Fatal("Levels must be nil unless KeepHierarchy is set")
+	}
+}
+
+func TestLFRRecoveryAcrossMixing(t *testing.T) {
+	// Classic LFR benchmark curve: planted-partition recovery (NMI) is
+	// near-perfect at low mixing and degrades as Mu grows.
+	nmiAt := func(mu float64) float64 {
+		cfg := generate.LFRConfig{
+			N: 1500, AvgDegree: 14, MaxDegree: 80,
+			DegreeExp: 2.5, CommExp: 1.5, MinComm: 20, MaxComm: 150, Mu: mu,
+		}
+		g, truth := generate.LFR(cfg, 7, 4)
+		res := Run(g, withColor(withVF(smallOpts(4))))
+		v, err := quality.NMI(truth, res.Membership)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	low := nmiAt(0.1)
+	high := nmiAt(0.6)
+	if low < 0.85 {
+		t.Fatalf("NMI at Mu=0.1 is %.3f, want >= 0.85", low)
+	}
+	if high >= low {
+		t.Fatalf("NMI did not degrade with mixing: %.3f -> %.3f", low, high)
+	}
+	t.Logf("LFR NMI: mu=0.1 -> %.3f, mu=0.6 -> %.3f", low, high)
+}

@@ -1,0 +1,229 @@
+// Package core implements Grappolo, the paper's parallel Louvain community
+// detection (§5): lock-free parallel vertex sweeps driven by the previous
+// iteration's community state (Algorithm 1), the singlet and generalized
+// minimum-label heuristics (§5.1), distance-1 coloring with the multi-phase
+// coloring policy (§5.2, §6.3), vertex-following preprocessing (§5.3), and
+// a parallel graph rebuild between phases (§5.5).
+package core
+
+import "time"
+
+// ColoringMode selects how coloring preprocessing is applied across phases.
+type ColoringMode int
+
+const (
+	// ColorOff disables coloring (the paper's "baseline" and
+	// "baseline + VF" variants).
+	ColorOff ColoringMode = iota
+	// ColorFirstPhase colors only the first phase's input (the Table 4
+	// "first phase coloring" comparison scheme).
+	ColorFirstPhase
+	// ColorMultiPhase applies coloring to every phase until the vertex
+	// count drops below ColoringVertexCutoff or the inter-phase modularity
+	// gain drops below ColoredThreshold (§6.1, the paper's default
+	// "baseline + VF + Color" policy).
+	ColorMultiPhase
+)
+
+// Objective selects the quality function being optimized.
+type Objective int
+
+const (
+	// ObjModularity is Eq. (3) standard modularity — the paper's objective.
+	ObjModularity Objective = iota
+	// ObjCPM is the constant Potts model of Traag et al. (the paper's
+	// ref. [6]), listed in future work (iv) as the resolution-limit-free
+	// alternative. The penalty is γ·n_C(n_C−1)/2 over ORIGINAL vertex
+	// counts; scores are normalized by m. Not compatible with
+	// VertexFollowing (Lemma 3 is a modularity result).
+	ObjCPM
+)
+
+// Options configure a parallel Louvain run. The zero value, passed through
+// Defaults, reproduces the paper's baseline configuration.
+type Options struct {
+	// Workers is the number of parallel workers (threads in the paper's
+	// terminology). <= 0 selects GOMAXPROCS.
+	Workers int
+
+	// VertexFollowing enables the VF preprocessing step (§5.3): all
+	// single-degree vertices are merged into their neighbor before phase 1.
+	VertexFollowing bool
+
+	// VFChainCompression additionally repeats VF passes until no
+	// single-degree vertex remains, compressing hanging chains (the
+	// extension discussed at the end of §5.3).
+	VFChainCompression bool
+
+	// Coloring selects the coloring policy.
+	Coloring ColoringMode
+
+	// BalancedColoring rebalances color-set sizes after coloring (the
+	// paper's proposed fix for the uk-2002 skew, §6.2).
+	BalancedColoring bool
+
+	// Distance2Coloring uses distance-2 instead of distance-1 coloring
+	// (§5.2 discusses distance-k variants). Implies more colors and less
+	// parallelism per set.
+	Distance2Coloring bool
+
+	// JonesPlassmann selects the Jones–Plassmann coloring instead of the
+	// default speculate-and-resolve greedy — the other classic parallel
+	// coloring benchmarked by the paper's reference [12]; exposed for
+	// ablation of the preprocessing choice. Ignored with Distance2Coloring.
+	JonesPlassmann bool
+
+	// ColoredThreshold is the net modularity gain threshold used while
+	// phases are colored. Paper default 1e-2 (§6.1; varied in Table 5).
+	ColoredThreshold float64
+
+	// FinalThreshold is the termination threshold for uncolored phases.
+	// Paper default 1e-6.
+	FinalThreshold float64
+
+	// ColoringVertexCutoff stops coloring once a phase's input has fewer
+	// vertices. Paper default 100000; tests use smaller graphs and set
+	// this explicitly.
+	ColoringVertexCutoff int
+
+	// MaxIterations caps iterations per phase; 0 = unlimited.
+	MaxIterations int
+	// MaxPhases caps phases; 0 = unlimited.
+	MaxPhases int
+
+	// Resolution is the γ multiplier on the null-model term (1 = the
+	// paper's standard modularity).
+	Resolution float64
+
+	// Objective selects the quality function (default ObjModularity).
+	Objective Objective
+	// CPMGamma is the CPM resolution parameter (required > 0 when
+	// Objective is ObjCPM; ignored otherwise).
+	CPMGamma float64
+
+	// SerialRenumber forces the community-renumbering step of the rebuild
+	// to run serially, reproducing the paper's implementation (§5.5 notes
+	// the renumbering "is currently implemented in serial"); the default
+	// uses the parallel prefix-sum version the paper lists as future work.
+	SerialRenumber bool
+
+	// KeepHierarchy records the community assignment of the ORIGINAL
+	// vertices at the end of every phase in Result.Levels — the hierarchy
+	// of communities the Louvain method produces (§3): each phase is a
+	// coarser level of the dendrogram.
+	KeepHierarchy bool
+
+	// DisableMinLabel turns off the generalized minimum-label tie-break
+	// (ablation only; the paper's baseline always applies it).
+	DisableMinLabel bool
+
+	// Async switches iterations to asynchronous parallel local moves over
+	// the LIVE community state (no snapshot, no coloring): each vertex
+	// reads whatever its neighbors' assignments are at that instant and
+	// moves immediately. This emulates the PLM approach of Staudt &
+	// Meyerhenke that the paper compares against in §7. Output varies with
+	// scheduling; combine with DisableMinLabel for the faithful PLM
+	// emulation.
+	Async bool
+}
+
+// Defaults returns o with unset fields replaced by the paper's defaults.
+func (o Options) Defaults() Options {
+	if o.ColoredThreshold <= 0 {
+		o.ColoredThreshold = 1e-2
+	}
+	if o.FinalThreshold <= 0 {
+		o.FinalThreshold = 1e-6
+	}
+	if o.ColoringVertexCutoff <= 0 {
+		o.ColoringVertexCutoff = 100000
+	}
+	if o.Resolution <= 0 {
+		o.Resolution = 1
+	}
+	return o
+}
+
+// Baseline returns the paper's "baseline" variant (minimum-label only).
+func Baseline(workers int) Options {
+	return Options{Workers: workers}.Defaults()
+}
+
+// BaselineVF returns the "baseline + VF" variant.
+func BaselineVF(workers int) Options {
+	return Options{Workers: workers, VertexFollowing: true}.Defaults()
+}
+
+// BaselineVFColor returns the "baseline + VF + Color" variant, the paper's
+// headline configuration.
+func BaselineVFColor(workers int) Options {
+	return Options{
+		Workers:         workers,
+		VertexFollowing: true,
+		Coloring:        ColorMultiPhase,
+	}.Defaults()
+}
+
+// PLM returns options emulating the label-propagation-style parallel
+// Louvain (PLM) of Staudt & Meyerhenke (the paper's ref. [26]), used for
+// the §7 related-work comparison: asynchronous live-state local moves
+// without coloring or minimum-label heuristics.
+func PLM(workers int) Options {
+	return Options{
+		Workers:         workers,
+		Async:           true,
+		DisableMinLabel: true,
+	}.Defaults()
+}
+
+// Breakdown aggregates wall-clock time per algorithm step, the quantities
+// plotted in Fig. 8 (coloring / clustering / rebuild) plus VF preprocessing.
+type Breakdown struct {
+	VF         time.Duration
+	Coloring   time.Duration
+	Clustering time.Duration
+	Rebuild    time.Duration
+}
+
+// Total returns the sum of all components.
+func (b Breakdown) Total() time.Duration {
+	return b.VF + b.Coloring + b.Clustering + b.Rebuild
+}
+
+// PhaseStats traces one phase of the run: convergence trajectory for
+// Figs. 3–6, per-step timings for Figs. 8–9, and coloring statistics for
+// the §6.2 color-skew analysis.
+type PhaseStats struct {
+	VertexCount int
+	Iterations  int
+	// Modularity after each iteration of this phase.
+	Modularity []float64
+	Colored    bool
+	NumColors  int
+	// ColorSetRSD is the relative standard deviation of color-set sizes
+	// (meaningful only when Colored).
+	ColorSetRSD  float64
+	ColoringTime time.Duration
+	ClusterTime  time.Duration
+	RebuildTime  time.Duration
+}
+
+// Result is the output of a parallel Louvain run.
+type Result struct {
+	// Membership maps every vertex of the input graph to a dense community
+	// id in [0, NumCommunities).
+	Membership     []int32
+	NumCommunities int
+	// Modularity of Membership on the input graph.
+	Modularity float64
+	// Phases in execution order.
+	Phases []PhaseStats
+	// TotalIterations across phases (Tables 4 and 5 report these).
+	TotalIterations int
+	// Timing is the aggregate step breakdown.
+	Timing Breakdown
+	// Levels, when Options.KeepHierarchy is set, holds the original-vertex
+	// community assignment after each phase: Levels[0] is the finest
+	// clustering, Levels[len-1] equals Membership.
+	Levels [][]int32
+}

@@ -1,0 +1,379 @@
+package core
+
+import (
+	"grappolo/internal/coloring"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// phaseState carries the per-phase working arrays of Algorithm 1.
+type phaseState struct {
+	g        *graph.Graph
+	m        float64   // sum of edge weights (paper's m)
+	curr     []int32   // C_curr: community of each vertex
+	prev     []int32   // C_prev: snapshot used for uncolored sweeps
+	commDeg  []float64 // a_C, atomically maintained during colored sweeps
+	size     []int64   // |C|, for the singlet minimum-label rule
+	gamma    float64
+	minLbl   bool // generalized minimum-label tie-break enabled
+	obj      Objective
+	cpmGamma float64
+	nodeSize []int64 // original-vertex count per (meta-)vertex (CPM only)
+	commNS   []int64 // Σ nodeSize per community (CPM only)
+}
+
+func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) *phaseState {
+	n := g.N()
+	st := &phaseState{
+		g:        g,
+		m:        g.M(),
+		curr:     make([]int32, n),
+		prev:     make([]int32, n),
+		commDeg:  make([]float64, n),
+		size:     make([]int64, n),
+		gamma:    opts.Resolution,
+		minLbl:   !opts.DisableMinLabel,
+		obj:      opts.Objective,
+		cpmGamma: opts.CPMGamma,
+	}
+	if st.obj == ObjCPM {
+		st.nodeSize = nodeSize
+		st.commNS = make([]int64, n)
+	}
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.curr[i] = int32(i)
+			st.commDeg[i] = g.Degree(i)
+			st.size[i] = 1
+			if st.commNS != nil {
+				st.commNS[i] = nodeSize[i]
+			}
+		}
+	})
+	return st
+}
+
+// refreshAggregates recomputes a_C and |C| (and the CPM node-size sums)
+// from the given assignment (prev for uncolored iterations, curr before a
+// colored sweep).
+func (st *phaseState) refreshAggregates(from []int32, workers int) {
+	n := st.g.N()
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			st.commDeg[i] = 0
+			st.size[i] = 0
+			if st.commNS != nil {
+				st.commNS[i] = 0
+			}
+		}
+	})
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			c := from[i]
+			par.AddFloat64(&st.commDeg[c], st.g.Degree(i))
+			atomicAdd64(&st.size[c], 1)
+			if st.commNS != nil {
+				atomicAdd64(&st.commNS[c], st.nodeSize[i])
+			}
+		}
+	})
+}
+
+// scratch is the per-worker neighbor-community accumulator: the Go analog
+// of the paper's per-vertex STL map (§5.5), reused across vertices to stay
+// allocation-free in the hot loop.
+type scratch struct {
+	comms []int32   // distinct neighboring communities, first = own
+	wts   []float64 // e_{i→C} per community
+	idx   map[int32]int
+}
+
+func newScratch() *scratch {
+	return &scratch{idx: make(map[int32]int, 64)}
+}
+
+// decide computes vertex i's new community per Eqs. (4)–(5) with the
+// minimum-label heuristics of §5.1. membership is the array decisions read
+// (prev for uncolored sweeps, curr for colored/async ones); atomicAgg
+// selects whether community aggregates are read with atomic loads (colored
+// sweeps mutate them concurrently); atomicComm additionally reads the
+// membership itself atomically (async mode, where adjacent vertices move
+// concurrently).
+func (st *phaseState) decide(i int, membership []int32, sc *scratch, atomicAgg, atomicComm bool) int32 {
+	g := st.g
+	readComm := func(v int32) int32 {
+		if atomicComm {
+			return atomicLoad32(&membership[v])
+		}
+		return membership[v]
+	}
+	ci := readComm(int32(i))
+	ki := g.Degree(i)
+	nbr, wts := g.Neighbors(i)
+
+	sc.comms = sc.comms[:0]
+	sc.wts = sc.wts[:0]
+	clear(sc.idx)
+	sc.idx[ci] = 0
+	sc.comms = append(sc.comms, ci)
+	sc.wts = append(sc.wts, 0)
+	for t, j := range nbr {
+		if int(j) == i {
+			continue // self-loop stays with i under any move
+		}
+		cj := readComm(j)
+		if k, ok := sc.idx[cj]; ok {
+			sc.wts[k] += wts[t]
+		} else {
+			sc.idx[cj] = len(sc.comms)
+			sc.comms = append(sc.comms, cj)
+			sc.wts = append(sc.wts, wts[t])
+		}
+	}
+
+	loadDeg := func(c int32) float64 {
+		if atomicAgg {
+			return par.LoadFloat64(&st.commDeg[c])
+		}
+		return st.commDeg[c]
+	}
+	loadNS := func(c int32) int64 {
+		if atomicAgg {
+			return atomicLoad64(&st.commNS[c])
+		}
+		return st.commNS[c]
+	}
+	eOwn := sc.wts[0] // e_{i→C(i)\{i}}
+	m := st.m
+	best := ci
+	bestGain := 0.0
+	if st.obj == ObjCPM {
+		si := st.nodeSize[i]
+		nsOwnLess := loadNS(ci) - si
+		for t := 1; t < len(sc.comms); t++ {
+			ct := sc.comms[t]
+			// CPM gain: ΔH/m with the size-based penalty (future work iv).
+			gain := (sc.wts[t] - eOwn - st.cpmGamma*float64(si)*float64(loadNS(ct)-nsOwnLess)) / m
+			switch {
+			case gain > bestGain:
+				bestGain, best = gain, ct
+			case st.minLbl && gain == bestGain && gain > 0 && ct < best:
+				best = ct
+			}
+		}
+	} else {
+		aOwn := loadDeg(ci) - ki
+		for t := 1; t < len(sc.comms); t++ {
+			ct := sc.comms[t]
+			// Eq. (4).
+			gain := (sc.wts[t]-eOwn)/m + st.gamma*(2*ki*aOwn-2*ki*loadDeg(ct))/(4*m*m)
+			switch {
+			case gain > bestGain:
+				bestGain, best = gain, ct
+			case st.minLbl && gain == bestGain && gain > 0 && ct < best:
+				// Generalized minimum-label heuristic: equal gains resolve
+				// to the smaller community label (§5.1).
+				best = ct
+			}
+		}
+	}
+	if best == ci || bestGain <= 0 {
+		return ci
+	}
+	// Singlet minimum-label heuristic: a singlet vertex may move into
+	// another singlet community only if the target label is smaller,
+	// preventing the swap cycles of §4.2 case 1.
+	if st.minLbl && best > ci &&
+		st.sizeOf(ci, atomicAgg) == 1 && st.sizeOf(best, atomicAgg) == 1 {
+		return ci
+	}
+	return best
+}
+
+func (st *phaseState) sizeOf(c int32, atomicAgg bool) int64 {
+	if atomicAgg {
+		return atomicLoad64(&st.size[c])
+	}
+	return st.size[c]
+}
+
+// applyMove atomically migrates vertex i's contributions from community old
+// to next (degree, count, and CPM node size when tracked).
+func (st *phaseState) applyMove(i int, old, next int32) {
+	ki := st.g.Degree(i)
+	par.AddFloat64(&st.commDeg[old], -ki)
+	par.AddFloat64(&st.commDeg[next], ki)
+	atomicAdd64(&st.size[old], -1)
+	atomicAdd64(&st.size[next], 1)
+	if st.commNS != nil {
+		s := st.nodeSize[i]
+		atomicAdd64(&st.commNS[old], -s)
+		atomicAdd64(&st.commNS[next], s)
+	}
+}
+
+// sweepUncolored performs one full parallel iteration without coloring:
+// every vertex decides from the previous iteration's snapshot (no locks,
+// deterministic for a fixed input regardless of worker count).
+func (st *phaseState) sweepUncolored(workers int) {
+	n := st.g.N()
+	copy(st.prev, st.curr)
+	st.refreshAggregates(st.prev, workers)
+	par.ForChunk(n, workers, 512, func(lo, hi int) {
+		sc := newScratch()
+		for i := lo; i < hi; i++ {
+			st.curr[i] = st.decide(i, st.prev, sc, false, false)
+		}
+	})
+}
+
+// sweepColored performs one full iteration over color sets: sets are
+// processed in order; inside a set vertices decide in parallel reading the
+// LIVE community state (earlier sets' moves are visible, §5.4 step 3) and
+// update the aggregates atomically on migration.
+func (st *phaseState) sweepColored(sets [][]int32, workers int) {
+	st.refreshAggregates(st.curr, workers)
+	for _, set := range sets {
+		par.ForChunk(len(set), workers, 64, func(lo, hi int) {
+			sc := newScratch()
+			for t := lo; t < hi; t++ {
+				i := int(set[t])
+				old := st.curr[i]
+				next := st.decide(i, st.curr, sc, true, false)
+				if next != old {
+					st.applyMove(i, old, next)
+					st.curr[i] = next
+				}
+			}
+		})
+	}
+}
+
+// sweepAsync performs one full iteration of asynchronous live-state local
+// moves (the PLM emulation, §7): every vertex decides from whatever its
+// neighbors' CURRENT assignments are, with membership and aggregates both
+// accessed atomically because adjacent vertices move concurrently.
+func (st *phaseState) sweepAsync(workers int) {
+	n := st.g.N()
+	st.refreshAggregates(st.curr, workers)
+	par.ForChunk(n, workers, 256, func(lo, hi int) {
+		sc := newScratch()
+		for i := lo; i < hi; i++ {
+			old := atomicLoad32(&st.curr[i])
+			next := st.decide(i, st.curr, sc, true, true)
+			if next != old {
+				st.applyMove(i, old, next)
+				atomicStore32(&st.curr[i], next)
+			}
+		}
+	})
+}
+
+// score computes the active objective for the current assignment: Eq. (3)
+// modularity, or the normalized CPM score H/m under ObjCPM.
+func (st *phaseState) score(workers int) float64 {
+	if st.obj == ObjCPM {
+		return st.cpmScore(workers)
+	}
+	return st.modularity(workers)
+}
+
+// cpmScore computes H/m = (w_in − γ·Σ_C binom(ns_C,2)) / m in parallel,
+// with w_in counted by the coarsening-invariant within2/2 convention.
+func (st *phaseState) cpmScore(workers int) float64 {
+	g := st.g
+	n := g.N()
+	if n == 0 || st.m == 0 {
+		return 0
+	}
+	within2 := par.SumFloat64(n, workers, func(i int) float64 {
+		ci := st.curr[i]
+		nbr, wts := g.Neighbors(i)
+		s := 0.0
+		for t, j := range nbr {
+			if int(j) == i || st.curr[j] == ci {
+				s += wts[t]
+			}
+		}
+		return s
+	})
+	ns := make([]int64, n)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomicAdd64(&ns[st.curr[i]], st.nodeSize[i])
+		}
+	})
+	penalty := par.SumFloat64(n, workers, func(c int) float64 {
+		s := float64(ns[c])
+		return s * (s - 1) / 2
+	})
+	return (within2/2 - st.cpmGamma*penalty) / st.m
+}
+
+// modularity computes Eq. (3) for the current assignment in parallel.
+func (st *phaseState) modularity(workers int) float64 {
+	g := st.g
+	n := g.N()
+	m2 := g.TotalWeight()
+	if n == 0 || m2 == 0 {
+		return 0
+	}
+	within := par.SumFloat64(n, workers, func(i int) float64 {
+		ci := st.curr[i]
+		nbr, wts := g.Neighbors(i)
+		s := 0.0
+		for t, j := range nbr {
+			if st.curr[j] == ci {
+				s += wts[t]
+			}
+		}
+		return s
+	})
+	// a_C from curr, then Σ (a_C / 2m)².
+	deg := make([]float64, n)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			par.AddFloat64(&deg[st.curr[i]], g.Degree(i))
+		}
+	})
+	null := par.SumFloat64(n, workers, func(c int) float64 {
+		f := deg[c] / m2
+		return f * f
+	})
+	return within/m2 - st.gamma*null
+}
+
+// runPhase executes the iterations of one phase per Algorithm 1 and
+// returns the dense membership, the trace, and the final modularity.
+// colorSets is nil for uncolored phases.
+func runPhase(g *graph.Graph, opts Options, threshold float64, colorSets *coloring.Coloring, nodeSize []int64) ([]int32, PhaseStats, float64) {
+	workers := opts.Workers
+	st := newPhaseState(g, opts, nodeSize, workers)
+	stats := PhaseStats{VertexCount: g.N()}
+	prevQ := st.score(workers)
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		switch {
+		case colorSets != nil:
+			st.sweepColored(colorSets.Sets, workers)
+		case opts.Async:
+			st.sweepAsync(workers)
+		default:
+			st.sweepUncolored(workers)
+		}
+		q := st.score(workers)
+		stats.Iterations++
+		stats.Modularity = append(stats.Modularity, q)
+		if q-prevQ < threshold {
+			prevQ = q
+			break
+		}
+		prevQ = q
+	}
+	var dense []int32
+	if opts.SerialRenumber {
+		dense = renumberSerial(st.curr)
+	} else {
+		dense = renumberParallel(st.curr, workers)
+	}
+	return dense, stats, prevQ
+}

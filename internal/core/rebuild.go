@@ -1,0 +1,166 @@
+package core
+
+import (
+	"sort"
+	"sync/atomic"
+
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+func atomicAdd64(cell *int64, d int64) int64 { return atomic.AddInt64(cell, d) }
+
+func atomicLoad64(cell *int64) int64 { return atomic.LoadInt64(cell) }
+
+func atomicLoad32(cell *int32) int32     { return atomic.LoadInt32(cell) }
+func atomicStore32(cell *int32, v int32) { atomic.StoreInt32(cell, v) }
+
+// renumberParallel maps arbitrary community ids in [0, len(comm)) to dense
+// ids [0, k), preserving ascending id order, using a parallel occupancy
+// scan + prefix sum. This is the parallelization of the rebuild step the
+// paper performs serially (§5.5: "this step is currently implemented in
+// serial, although our future plan is to explore a parallelization using
+// prefix computation").
+func renumberParallel(comm []int32, workers int) []int32 {
+	n := len(comm)
+	occupied := make([]int64, n+1)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			// Plain stores race benignly only in C; use atomic store of the
+			// same value to stay well-defined (any winner writes 1).
+			atomic.StoreInt64(&occupied[comm[i]], 1)
+		}
+	})
+	par.ExclusivePrefixSum(occupied[:n+1], workers)
+	// occupied[c] now holds the dense id of community c (valid where the
+	// original flag was 1, i.e. occupied[c+1] == occupied[c]+1).
+	out := make([]int32, n)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out[i] = int32(occupied[comm[i]])
+		}
+	})
+	return out
+}
+
+// renumberSerial is the paper's original serial renumbering, kept as an
+// ablation mode (Options.SerialRenumber) so the Fig. 8/9 rebuild
+// bottleneck can be reproduced.
+func renumberSerial(comm []int32) []int32 {
+	n := len(comm)
+	dense := make([]int32, n+1)
+	for i := range dense {
+		dense[i] = -1
+	}
+	next := int32(0)
+	out := make([]int32, n)
+	// Ascending-id order to match the parallel version bit for bit.
+	for i := 0; i < n; i++ {
+		if dense[comm[i]] < 0 {
+			dense[comm[i]] = 0 // mark
+		}
+	}
+	for c := 0; c <= n; c++ {
+		if c < len(dense) && dense[c] == 0 {
+			dense[c] = next
+			next++
+		}
+	}
+	for i := 0; i < n; i++ {
+		out[i] = dense[comm[i]]
+	}
+	return out
+}
+
+// rebuild constructs the next phase's coarsened graph from a dense
+// membership (§5.4 step 4, §5.5): one meta-vertex per community, self-loop
+// weight = 2×(intra non-loop weight) + member self-loops, inter-community
+// edges aggregated symmetrically. All steps are parallel: vertices are
+// grouped by community with a counting sort, then each community's row is
+// aggregated independently (lock-free, one goroutine chunk per community
+// range — the Go substitute for the paper's two-lock edge traversal).
+func rebuild(g *graph.Graph, membership []int32, numComm, workers int) *graph.Graph {
+	n := g.N()
+	// Group vertices by community: counting sort with atomic counters.
+	counts := make([]int64, numComm+1)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomicAdd64(&counts[membership[i]], 1)
+		}
+	})
+	par.ExclusivePrefixSum(counts[:numComm+1], workers)
+	starts := counts // exclusive prefix sums
+	cursor := make([]int64, numComm)
+	copy(cursor, starts[:numComm])
+	members := make([]int32, n)
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			pos := atomicAdd64(&cursor[membership[i]], 1) - 1
+			members[pos] = int32(i)
+		}
+	})
+
+	// Aggregate each community's row. rowAdj/rowW are per-community slices
+	// built independently, then stitched into CSR.
+	rowAdj := make([][]int32, numComm)
+	rowW := make([][]float64, numComm)
+	par.ForChunk(numComm, workers, 1, func(lo, hi int) {
+		agg := make(map[int32]float64, 16)
+		for c := lo; c < hi; c++ {
+			clear(agg)
+			selfW := 0.0
+			for _, u := range members[starts[c]:starts[c+1]] {
+				nbr, wts := g.Neighbors(int(u))
+				for t, v := range nbr {
+					cv := membership[v]
+					if int(cv) == c {
+						// Internal non-loop arcs are visited twice (u→v and
+						// v→u) accumulating 2w; self-loops once, w — the
+						// degree-preserving convention.
+						selfW += wts[t]
+					} else {
+						agg[cv] += wts[t]
+					}
+				}
+			}
+			keys := make([]int32, 0, len(agg)+1)
+			if selfW > 0 {
+				keys = append(keys, int32(c))
+			}
+			for k := range agg {
+				keys = append(keys, k)
+			}
+			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
+			ws := make([]float64, len(keys))
+			for t, k := range keys {
+				if int(k) == c {
+					ws[t] = selfW
+				} else {
+					ws[t] = agg[k]
+				}
+			}
+			rowAdj[c], rowW[c] = keys, ws
+		}
+	})
+
+	offsets := make([]int64, numComm+1)
+	par.ForChunk(numComm, workers, 0, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			offsets[c] = int64(len(rowAdj[c]))
+		}
+	})
+	totalArcs := par.ExclusivePrefixSum(offsets, workers)
+	adj := make([]int32, totalArcs)
+	weights := make([]float64, totalArcs)
+	par.ForChunk(numComm, workers, 0, func(lo, hi int) {
+		for c := lo; c < hi; c++ {
+			copy(adj[offsets[c]:], rowAdj[c])
+			copy(weights[offsets[c]:], rowW[c])
+		}
+	})
+	cg, err := graph.FromCSR(offsets, adj, weights, workers, false)
+	if err != nil {
+		panic(err) // unreachable with check=false
+	}
+	return cg
+}

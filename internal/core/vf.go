@@ -1,0 +1,137 @@
+package core
+
+import (
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// vertexFollow computes the VF preprocessing assignment of §5.3: every
+// single-degree vertex (exactly one incident edge, which is not a
+// self-loop) is merged into its sole neighbor. Lemma 3 guarantees the
+// final Louvain solution would co-locate them anyway, so merging a priori
+// shrinks the first phase without changing reachable quality.
+//
+// With chainMode set, the single-NEIGHBOR extension discussed at the end of
+// §5.3 also applies: a vertex whose only edges are one edge (i, j) and an
+// optional self-loop (i, i) — the shape produced by collapsing a chain tip —
+// is merged into j when the explicit lower bound of inequality (10) is
+// positive, i.e. ω(i,j) > k_i·k_j / (2m). Repeated passes therefore
+// compress hanging chains from the tips inward and stop exactly when the
+// negative term of the bound starts to dominate.
+//
+// It returns a dense community assignment over g's vertices and the number
+// of communities. If no vertex qualifies, ok is false and the inputs should
+// be used unchanged. The scan and parent resolution are parallel.
+func vertexFollow(g *graph.Graph, workers int, chainMode bool) (membership []int32, numComm int, ok bool) {
+	n := g.N()
+	parent := make([]int32, n)
+	m2 := g.TotalWeight() // 2m
+	var merged int64
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			parent[i] = int32(i)
+			nbr, wts := g.Neighbors(i)
+			switch {
+			case len(nbr) == 1 && int(nbr[0]) != i:
+				// Single-degree vertex: Lemma 3, unconditional merge.
+				parent[i] = nbr[0]
+				local++
+			case chainMode && len(nbr) == 2 && m2 > 0:
+				// Single-neighbor vertex: one self-loop + one edge (i, j).
+				var j int32 = -1
+				var wij float64
+				for t, v := range nbr {
+					if int(v) != i {
+						if j >= 0 {
+							j = -1 // two distinct neighbors: not single-neighbor
+							break
+						}
+						j, wij = v, wts[t]
+					}
+				}
+				if j >= 0 && wij > g.Degree(i)*g.Degree(int(j))/m2 {
+					parent[i] = j
+					local++
+				}
+			}
+		}
+		atomicAdd64(&merged, local)
+	})
+	if merged == 0 {
+		return nil, 0, false
+	}
+	// Break pointer cycles: if i and j point at each other (mutual pair),
+	// or longer follow-chains arise in chain mode, resolve each vertex to a
+	// representative by path-halving with the minimum-label rule (§5.1):
+	// the smallest id on the cycle wins.
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := parent[i]
+			if p != int32(i) && parent[p] == int32(i) && p > int32(i) {
+				parent[i] = int32(i)
+			}
+		}
+	})
+	// In chain mode two adjacent chain vertices may both merge inward,
+	// producing pointer chains longer than one hop; contract every chain to
+	// its root. Concurrent contraction of overlapping chains is safe (all
+	// paths end at the same root) but must use atomics to be well-defined.
+	par.ForChunk(n, workers, 0, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			p := atomicLoad32(&parent[i])
+			for {
+				gp := atomicLoad32(&parent[p])
+				if gp == p {
+					break
+				}
+				p = gp
+			}
+			atomicStore32(&parent[i], p)
+		}
+	})
+	membership = renumberParallel(parent, workers)
+	numComm = int(maxInt32(membership)) + 1
+	return membership, numComm, true
+}
+
+// vertexFollowChain repeats VF passes on progressively rebuilt graphs until
+// no qualifying vertices remain (or maxRounds is hit). A single round with
+// chainMode false is the paper's basic VF; multiple rounds with chainMode
+// true implement the chain-compression extension of §5.3. It returns the
+// compressed graph and the composed membership mapping g's vertices onto
+// it; rounds reports how many VF passes were applied.
+func vertexFollowChain(g *graph.Graph, workers, maxRounds int) (*graph.Graph, []int32, int) {
+	n := g.N()
+	total := make([]int32, n)
+	for i := range total {
+		total[i] = int32(i)
+	}
+	cur := g
+	rounds := 0
+	chainMode := maxRounds > 1
+	for rounds < maxRounds {
+		membership, nc, ok := vertexFollow(cur, workers, chainMode)
+		if !ok {
+			break
+		}
+		rounds++
+		cur = rebuild(cur, membership, nc, workers)
+		par.ForChunk(n, workers, 0, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				total[i] = membership[total[i]]
+			}
+		})
+	}
+	return cur, total, rounds
+}
+
+func maxInt32(v []int32) int32 {
+	m := int32(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+// Weighted end-to-end coverage: the paper's graphs are weighted (§2); these
+// tests make sure weights actually steer decisions rather than merely
+// surviving the pipeline.
+
+func TestWeightsSteerCommunityAssignment(t *testing.T) {
+	// Vertex 2 sits between two triangles; its edge into the left triangle
+	// is heavy, into the right light. It must side with the heavy edge.
+	b := graph.NewBuilder(7)
+	// Left triangle {0,1,2}-ish: 0-1 strong pair plus heavy links to 2.
+	b.AddEdge(0, 1, 10)
+	b.AddEdge(0, 2, 10)
+	b.AddEdge(1, 2, 10)
+	// Right triangle {3,4,5} strong internally.
+	b.AddEdge(3, 4, 10)
+	b.AddEdge(4, 5, 10)
+	b.AddEdge(3, 5, 10)
+	// 2 weakly tied to the right side; 6 pendant on the right.
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(5, 6, 10)
+	g := b.Build(2)
+	res := Run(g, smallOpts(2))
+	if res.Membership[2] != res.Membership[0] {
+		t.Fatalf("vertex 2 ignored its heavy edges: %v", res.Membership)
+	}
+	if res.Membership[2] == res.Membership[3] {
+		t.Fatalf("vertex 2 crossed the weak bridge: %v", res.Membership)
+	}
+}
+
+func TestWeightedSBMEndToEnd(t *testing.T) {
+	g, truth := generate.SBM(generate.SBMConfig{
+		Communities:  []int{50, 50, 50},
+		IntraDegree:  10,
+		CrossFrac:    0.6,
+		WeightedEdge: true, // intra weight 2, cross weight 1
+	}, 4, 2)
+	res := Run(g, withColor(smallOpts(4)))
+	q := seq.Modularity(g, res.Membership, 1)
+	if math.Abs(q-res.Modularity) > 1e-9 {
+		t.Fatalf("Q mismatch on weighted graph: %v vs %v", res.Modularity, q)
+	}
+	// With doubled intra weights the planted structure should dominate
+	// despite the heavy cross fraction.
+	agree := 0
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			if (truth[i] == truth[j]) == (res.Membership[i] == res.Membership[j]) {
+				agree++
+			}
+		}
+	}
+	total := g.N() * (g.N() - 1) / 2
+	if frac := float64(agree) / float64(total); frac < 0.8 {
+		t.Fatalf("weighted SBM recovery only %.2f pair agreement", frac)
+	}
+}
+
+func TestUniformWeightScalingInvariance(t *testing.T) {
+	// Multiplying every weight by a constant leaves modularity and the
+	// (deterministic, uncolored) assignment unchanged.
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	b := graph.NewBuilder(g.N())
+	for i := 0; i < g.N(); i++ {
+		nbr, wts := g.Neighbors(i)
+		for t2, j := range nbr {
+			if int(j) >= i {
+				b.AddEdge(int32(i), j, wts[t2]*7)
+			}
+		}
+	}
+	scaled := b.Build(2)
+	a := Run(g, smallOpts(2))
+	c := Run(scaled, smallOpts(2))
+	if math.Abs(a.Modularity-c.Modularity) > 1e-9 {
+		t.Fatalf("scaling changed modularity: %v vs %v", a.Modularity, c.Modularity)
+	}
+	for i := range a.Membership {
+		if a.Membership[i] != c.Membership[i] {
+			t.Fatalf("scaling changed assignment at %d", i)
+		}
+	}
+}

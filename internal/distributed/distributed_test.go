@@ -1,0 +1,166 @@
+package distributed
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+func TestDistributedTwoCliquesAcrossPartitionBoundary(t *testing.T) {
+	// Two K5s joined by a bridge, split so the boundary cuts the bridge:
+	// the local phase sees two clean cliques and the merge keeps them.
+	b := graph.NewBuilder(10)
+	for base := 0; base <= 5; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+	}
+	b.AddEdge(0, 5, 1)
+	g := b.Build(2)
+	res, err := Run(g, Options{Parts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCommunities != 2 {
+		t.Fatalf("%d communities, want 2", res.NumCommunities)
+	}
+	if res.CutEdges != 1 {
+		t.Fatalf("cut edges %d, want 1 (the bridge)", res.CutEdges)
+	}
+	want := 40.0/42.0 - 0.5
+	if math.Abs(res.Modularity-want) > 1e-9 {
+		t.Fatalf("Q=%v want %v", res.Modularity, want)
+	}
+}
+
+func TestDistributedValidOnSuite(t *testing.T) {
+	for _, in := range []generate.Input{generate.CNR, generate.MG1, generate.RGG} {
+		g := generate.MustGenerate(in, generate.Small, 0, 2)
+		for _, parts := range []int{1, 3, 8} {
+			res, err := Run(g, Options{Parts: parts})
+			if err != nil {
+				t.Fatalf("%s parts=%d: %v", in, parts, err)
+			}
+			if len(res.Membership) != g.N() {
+				t.Fatalf("%s: membership length", in)
+			}
+			q := seq.Modularity(g, res.Membership, 1)
+			if math.Abs(q-res.Modularity) > 1e-9 {
+				t.Fatalf("%s: Q mismatch %v vs %v", in, res.Modularity, q)
+			}
+			if res.Modularity <= 0 {
+				t.Fatalf("%s parts=%d: Q=%v", in, parts, res.Modularity)
+			}
+		}
+	}
+}
+
+func TestDistributedOnePartEqualsSerial(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	dist, err := Run(g, Options{Parts: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.CutEdges != 0 {
+		t.Fatalf("one partition has %d cut edges", dist.CutEdges)
+	}
+	// With a single partition the local phase IS serial Louvain; the merge
+	// re-clusters its coarsening, which can only maintain or improve Q.
+	serial := seq.Run(g, seq.Options{})
+	if dist.Modularity < serial.Modularity-1e-9 {
+		t.Fatalf("1-part distributed Q=%v below serial %v", dist.Modularity, serial.Modularity)
+	}
+}
+
+func TestDistributedQualityVsGrappolo(t *testing.T) {
+	// §7's qualitative point: partition-and-merge ignores cut edges during
+	// the local phase, so with many partitions its quality should not beat
+	// the shared-memory heuristics by any margin, and typically trails.
+	g := generate.MustGenerate(generate.LiveJournal, generate.Small, 0, 4)
+	o := core.BaselineVFColor(4)
+	o.ColoringVertexCutoff = 32
+	grappolo := core.Run(g, o)
+	dist, err := Run(g, Options{Parts: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dist.Modularity > grappolo.Modularity+0.02 {
+		t.Fatalf("distributed %.4f unexpectedly above grappolo %.4f", dist.Modularity, grappolo.Modularity)
+	}
+	if dist.CutEdges == 0 {
+		t.Fatal("expected cut edges with 8 partitions")
+	}
+	t.Logf("grappolo=%.4f distributed=%.4f cut=%d", grappolo.Modularity, dist.Modularity, dist.CutEdges)
+}
+
+func TestDistributedOrderingSensitivity(t *testing.T) {
+	// The block partition is the distributed baseline's weak spot: with
+	// community-contiguous ids (the SBM default) partitions respect
+	// communities; after a random relabeling the same graph partitions
+	// adversarially and quality drops (more cut edges ignored locally) or
+	// at best stays equal. BFS reordering then restores locality.
+	g, _ := generate.SBM(generate.SBMConfig{
+		Communities: []int{80, 80, 80, 80}, IntraDegree: 12, CrossFrac: 0.05,
+	}, 3, 2)
+	contiguous, err := Run(g, Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	perm := graph.RandomPermutation(g.N(), 9)
+	scrambled, err := graph.Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shuffled, err := Run(scrambled, Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shuffled.CutEdges <= contiguous.CutEdges {
+		t.Fatalf("scrambling should increase cut edges: %d vs %d",
+			shuffled.CutEdges, contiguous.CutEdges)
+	}
+	// BFS reordering restores most locality.
+	restored, err := graph.Relabel(scrambled, graph.BFSOrder(scrambled))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rerun, err := Run(restored, Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rerun.CutEdges >= shuffled.CutEdges {
+		t.Fatalf("BFS reordering did not reduce cut edges: %d vs %d",
+			rerun.CutEdges, shuffled.CutEdges)
+	}
+	t.Logf("cut edges: contiguous=%d scrambled=%d bfs=%d; Q: %.4f / %.4f / %.4f",
+		contiguous.CutEdges, shuffled.CutEdges, rerun.CutEdges,
+		contiguous.Modularity, shuffled.Modularity, rerun.Modularity)
+}
+
+func TestDistributedEmptyAndTiny(t *testing.T) {
+	empty, err := Run(graph.NewBuilder(0).Build(1), Options{})
+	if err != nil || empty.NumCommunities != 0 {
+		t.Fatalf("empty: %+v %v", empty, err)
+	}
+	single := graph.NewBuilder(1).Build(1)
+	res, err := Run(single, Options{Parts: 16}) // parts clamped to n
+	if err != nil || res.NumCommunities != 1 {
+		t.Fatalf("single: %+v %v", res, err)
+	}
+}
+
+func TestPartOf(t *testing.T) {
+	bounds := []int{0, 3, 6, 10}
+	cases := map[int]int{0: 0, 2: 0, 3: 1, 5: 1, 6: 2, 9: 2}
+	for v, want := range cases {
+		if got := partOf(v, bounds); got != want {
+			t.Fatalf("partOf(%d)=%d want %d", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,174 @@
+package dynamic
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+func smallFull() core.Options {
+	o := core.BaselineVFColor(2)
+	o.ColoringVertexCutoff = 32
+	return o
+}
+
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for base := 0; base <= 5; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+	}
+	b.AddEdge(0, 5, 1)
+	return b.Build(2)
+}
+
+func TestMaintainerInitialState(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: smallFull()})
+	if m.N() != 10 || m.FullRuns() != 1 {
+		t.Fatalf("n=%d fullRuns=%d", m.N(), m.FullRuns())
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay modularity %v != snapshot %v", got, want)
+	}
+	if m.Modularity() < 0.4 {
+		t.Fatalf("initial Q=%v", m.Modularity())
+	}
+}
+
+func TestIncrementalEdgeJoinsNewVertex(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: smallFull(), BatchSize: 1})
+	// New vertex 10 attaches firmly to the first clique.
+	for _, v := range []int32{0, 1, 2, 3} {
+		if err := m.AddEdge(10, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+	comm := m.Membership()
+	if comm[10] != comm[0] {
+		t.Fatalf("new vertex not merged into its clique: %v", comm[10])
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay %v vs snapshot %v", got, want)
+	}
+}
+
+func TestBatchingAndFlush(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: smallFull(), BatchSize: 100, RefreshFraction: 10})
+	if err := m.AddEdge(10, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Below batch size: not applied yet, membership unchanged in length.
+	if m.N() != 10 {
+		t.Fatalf("edge applied before flush: n=%d", m.N())
+	}
+	m.Flush()
+	if m.N() != 11 {
+		t.Fatalf("flush did not grow: n=%d", m.N())
+	}
+	if m.BatchApplies() != 1 {
+		t.Fatalf("batches=%d", m.BatchApplies())
+	}
+}
+
+func TestRefreshTriggersFullRun(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: smallFull(), BatchSize: 1, RefreshFraction: 0.01})
+	before := m.FullRuns()
+	if err := m.AddEdge(0, 7, 1); err != nil { // touches > 1% of 10 vertices
+		t.Fatal(err)
+	}
+	if m.FullRuns() != before+1 {
+		t.Fatalf("full run not triggered: %d", m.FullRuns())
+	}
+}
+
+func TestStreamMaintainsQualityOnGrowingSBM(t *testing.T) {
+	// Stream an SBM in two halves: seed with the first half, then feed the
+	// rest edge by edge. Incremental quality must track a from-scratch run
+	// within a small band.
+	full, truth := generate.SBM(generate.SBMConfig{
+		Communities: []int{60, 60, 60}, IntraDegree: 12, CrossFrac: 0.05,
+	}, 5, 2)
+	_ = truth
+	// Split edges.
+	var initial, stream []graph.Edge
+	rng := par.NewRNG(9)
+	for u := 0; u < full.N(); u++ {
+		nbr, wts := full.Neighbors(u)
+		for t, v := range nbr {
+			if int32(u) > v {
+				continue
+			}
+			e := graph.Edge{U: int32(u), V: v, W: wts[t]}
+			if rng.Float64() < 0.7 {
+				initial = append(initial, e)
+			} else {
+				stream = append(stream, e)
+			}
+		}
+	}
+	gb := graph.NewBuilder(full.N())
+	gb.AddEdges(initial)
+	m := New(gb.Build(2), Options{Full: smallFull(), BatchSize: 64, RefreshFraction: 0.35})
+	for _, e := range stream {
+		if err := m.AddEdge(e.U, e.V, e.W); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+	streamQ := m.Quality()
+	scratch := core.Run(full, smallFull())
+	if streamQ < scratch.Modularity-0.1 {
+		t.Fatalf("incremental Q=%.4f trails scratch %.4f by more than 0.1",
+			streamQ, scratch.Modularity)
+	}
+	t.Logf("incremental Q=%.4f scratch Q=%.4f fullRuns=%d batches=%d",
+		streamQ, scratch.Modularity, m.FullRuns(), m.BatchApplies())
+}
+
+func TestAddEdgeErrors(t *testing.T) {
+	m := New(twoCliques(), Options{Full: smallFull()})
+	if err := m.AddEdge(-1, 0, 1); err == nil {
+		t.Fatal("want error for negative id")
+	}
+}
+
+func TestSelfLoopInsertion(t *testing.T) {
+	m := New(twoCliques(), Options{Full: smallFull(), BatchSize: 1, RefreshFraction: 10})
+	if err := m.AddEdge(3, 3, 2); err != nil {
+		t.Fatal(err)
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay %v vs snapshot %v after self-loop", got, want)
+	}
+}
+
+func TestEmptyStart(t *testing.T) {
+	m := New(graph.NewBuilder(0).Build(1), Options{Full: smallFull(), BatchSize: 4, RefreshFraction: 10})
+	if m.Modularity() != 0 {
+		t.Fatal("empty modularity")
+	}
+	for i := int32(0); i < 4; i++ {
+		if err := m.AddEdge(i, (i+1)%4, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.Flush()
+	if m.N() != 4 {
+		t.Fatalf("n=%d", m.N())
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay %v vs snapshot %v", got, want)
+	}
+}

@@ -1,0 +1,390 @@
+// Package generate produces deterministic synthetic graphs whose shapes
+// reproduce the paper's 11-input evaluation suite (Table 1) at laptop scale.
+//
+// The paper's experiments run on real graphs (DIMACS10, UFL sparse matrix
+// collection, ocean metagenomics) up to 1.8 billion edges. Those inputs are
+// not redistributable here, and the qualitative behaviour the paper
+// analyzes — VF's win on hub-and-spoke graphs and loss on road networks,
+// coloring's win except under skewed color-set sizes, rebuild dominating on
+// low-modularity inputs — is a function of degree distribution and community
+// strength. Each generator below reproduces those controlling properties for
+// one paper input; see DESIGN.md §5 for the mapping.
+//
+// All generators are deterministic for a fixed seed and parallel-safe (each
+// worker derives its own RNG stream).
+package generate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// BarabasiAlbert generates a preferential-attachment graph: n vertices,
+// each new vertex attaching k edges to existing vertices with probability
+// proportional to degree. This yields the heavy-tailed degree distribution
+// (high RSD) of the paper's web/citation inputs (CNR, uk-2002).
+func BarabasiAlbert(n, k int, seed uint64) *graph.Graph {
+	if n < 2 || k < 1 {
+		panic("generate: BarabasiAlbert needs n >= 2, k >= 1")
+	}
+	rng := par.NewRNG(seed)
+	// Repeated-endpoint list: element per half-edge; sampling uniformly from
+	// it implements degree-proportional attachment.
+	endpoints := make([]int32, 0, 2*n*k)
+	b := graph.NewBuilder(n)
+	b.AddEdge(0, 1, 1)
+	endpoints = append(endpoints, 0, 1)
+	for v := 2; v < n; v++ {
+		attach := k
+		if v < k {
+			attach = v
+		}
+		chosen := make(map[int32]struct{}, attach)
+		for len(chosen) < attach {
+			u := endpoints[rng.Intn(len(endpoints))]
+			chosen[u] = struct{}{}
+		}
+		for u := range chosen {
+			b.AddEdge(int32(v), u, 1)
+			endpoints = append(endpoints, int32(v), u)
+		}
+	}
+	return b.Build(0)
+}
+
+// CliqueChain generates overlapping cliques: count cliques of the given
+// size, consecutive cliques sharing `overlap` vertices. This reproduces the
+// co-authorship structure of coPapersDBLP: high average degree, low degree
+// RSD, very strong community structure.
+func CliqueChain(count, size, overlap int, seed uint64) *graph.Graph {
+	if size < 2 || overlap < 0 || overlap >= size || count < 1 {
+		panic("generate: CliqueChain needs size >= 2, 0 <= overlap < size")
+	}
+	stride := size - overlap
+	n := size + (count-1)*stride
+	b := graph.NewBuilder(n)
+	for c := 0; c < count; c++ {
+		base := c * stride
+		for i := 0; i < size; i++ {
+			for j := i + 1; j < size; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+	}
+	_ = seed // structure is deterministic; parameter kept for interface symmetry
+	return b.Build(0)
+}
+
+// Torus3D generates a 3-dimensional torus of shape dx×dy×dz where each
+// vertex connects to its full 26-cell Moore neighborhood. Every degree is
+// exactly 26 (RSD = 0) and community structure is weak — the shape of the
+// paper's Channel and NLPKKT240 inputs (uniform degrees, low modularity,
+// slow first-phase convergence).
+func Torus3D(dx, dy, dz int, seed uint64) *graph.Graph {
+	if dx < 3 || dy < 3 || dz < 3 {
+		panic("generate: Torus3D needs each dimension >= 3 (Moore neighborhood wraps)")
+	}
+	n := dx * dy * dz
+	id := func(x, y, z int) int32 {
+		return int32(((x+dx)%dx)*dy*dz + ((y+dy)%dy)*dz + (z+dz)%dz)
+	}
+	var edges []graph.Edge
+	for x := 0; x < dx; x++ {
+		for y := 0; y < dy; y++ {
+			for z := 0; z < dz; z++ {
+				u := id(x, y, z)
+				for ddx := -1; ddx <= 1; ddx++ {
+					for ddy := -1; ddy <= 1; ddy++ {
+						for ddz := -1; ddz <= 1; ddz++ {
+							if ddx == 0 && ddy == 0 && ddz == 0 {
+								continue
+							}
+							v := id(x+ddx, y+ddy, z+ddz)
+							if u < v { // add each undirected edge once
+								edges = append(edges, graph.Edge{U: u, V: v, W: 1})
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	_ = seed
+	return graph.FromEdges(n, edges, 0)
+}
+
+// RoadNetwork generates a planar-style road mesh: a jittered 2-D grid
+// backbone where each grid edge survives with probability keep, plus
+// degree-1 spoke chains hanging off backbone vertices. The result matches
+// Europe-osm's shape: average degree ≈ 2, long chains, a large fraction of
+// single-degree vertices (the VF heuristic's stress case, §6.2).
+func RoadNetwork(side int, keep float64, spokeFrac float64, chainLen int, seed uint64) *graph.Graph {
+	if side < 2 {
+		panic("generate: RoadNetwork needs side >= 2")
+	}
+	rng := par.NewRNG(seed)
+	nGrid := side * side
+	id := func(x, y int) int32 { return int32(x*side + y) }
+	b := graph.NewBuilder(nGrid)
+	// Guaranteed-connected backbone: each row is a path and consecutive rows
+	// are joined at column 0; the optional cross links below add loops.
+	for x := 0; x < side; x++ {
+		for y := 0; y+1 < side; y++ {
+			b.AddEdge(id(x, y), id(x, y+1), 1)
+		}
+		if x+1 < side {
+			b.AddEdge(id(x, 0), id(x+1, 0), 1)
+		}
+	}
+	for x := 0; x+1 < side; x++ {
+		for y := 1; y < side; y++ {
+			if rng.Float64() < keep {
+				b.AddEdge(id(x, y), id(x+1, y), 1)
+			}
+		}
+	}
+	// Spoke chains: single-neighbor paths hanging off random grid vertices.
+	next := int32(nGrid)
+	spokes := int(float64(nGrid) * spokeFrac)
+	for s := 0; s < spokes; s++ {
+		anchor := int32(rng.Intn(nGrid))
+		prev := anchor
+		l := 1 + rng.Intn(chainLen)
+		for t := 0; t < l; t++ {
+			b.AddEdge(prev, next, 1)
+			prev = next
+			next++
+		}
+	}
+	return b.Build(0)
+}
+
+// RMATConfig holds the recursive-matrix quadrant probabilities. They must
+// be positive and sum to 1.
+type RMATConfig struct {
+	A, B, C, D float64
+}
+
+// Social is the R-MAT parameterization used for social-network analogs
+// (Soc-LiveJournal1, friendster).
+var Social = RMATConfig{A: 0.57, B: 0.19, C: 0.19, D: 0.05}
+
+// Web is a more skewed parameterization for web-crawl analogs (uk-2002),
+// producing the highly imbalanced structure that skews color-set sizes.
+var Web = RMATConfig{A: 0.63, B: 0.17, C: 0.17, D: 0.03}
+
+// RMAT generates a recursive-matrix graph with 2^scale vertices and
+// approximately edgeFactor × 2^scale undirected edges (duplicates merge, so
+// the final count is slightly lower). Self-loops are dropped. Edge
+// generation is parallel with deterministic per-worker streams.
+func RMAT(scale, edgeFactor int, cfg RMATConfig, seed uint64, workers int) *graph.Graph {
+	if scale < 1 || scale > 30 {
+		panic("generate: RMAT scale out of range [1,30]")
+	}
+	if s := cfg.A + cfg.B + cfg.C + cfg.D; math.Abs(s-1) > 1e-9 || cfg.A <= 0 || cfg.B <= 0 || cfg.C <= 0 || cfg.D <= 0 {
+		panic(fmt.Sprintf("generate: RMAT probabilities must be positive and sum to 1, got %v", cfg))
+	}
+	n := 1 << scale
+	total := n * edgeFactor
+	edges := make([]graph.Edge, total)
+	root := par.NewRNG(seed)
+	if workers <= 0 {
+		workers = par.DefaultWorkers()
+	}
+	par.ForStatic(total, workers, func(w, lo, hi int) {
+		rng := root.SplitN(w)
+		for t := lo; t < hi; t++ {
+			u, v := 0, 0
+			for bit := 0; bit < scale; bit++ {
+				r := rng.Float64()
+				switch {
+				case r < cfg.A:
+					// stay in quadrant (0,0)
+				case r < cfg.A+cfg.B:
+					v |= 1 << bit
+				case r < cfg.A+cfg.B+cfg.C:
+					u |= 1 << bit
+				default:
+					u |= 1 << bit
+					v |= 1 << bit
+				}
+			}
+			if u == v {
+				v = (v + 1) % n // avoid self-loops; keeps edge count exact
+			}
+			edges[t] = graph.Edge{U: int32(u), V: int32(v), W: 1}
+		}
+	})
+	return graph.FromEdges(n, edges, workers)
+}
+
+// RandomGeometric generates a random geometric graph: n points uniform in
+// the unit square, vertices within distance radius connected. Matches
+// Rgg_n_2_24_s0's shape: near-uniform degrees (low RSD) with strong
+// geometric community structure (high modularity).
+func RandomGeometric(n int, radius float64, seed uint64, workers int) *graph.Graph {
+	if n < 1 || radius <= 0 || radius >= 1 {
+		panic("generate: RandomGeometric needs n >= 1, 0 < radius < 1")
+	}
+	rng := par.NewRNG(seed)
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := 0; i < n; i++ {
+		xs[i], ys[i] = rng.Float64(), rng.Float64()
+	}
+	// Uniform grid of cell size radius: each vertex only compares against
+	// points in its own and neighboring cells.
+	cells := int(1/radius) + 1
+	cellOf := func(i int) (int, int) {
+		cx, cy := int(xs[i]/radius), int(ys[i]/radius)
+		if cx >= cells {
+			cx = cells - 1
+		}
+		if cy >= cells {
+			cy = cells - 1
+		}
+		return cx, cy
+	}
+	bucket := make(map[[2]int][]int32)
+	for i := 0; i < n; i++ {
+		cx, cy := cellOf(i)
+		bucket[[2]int{cx, cy}] = append(bucket[[2]int{cx, cy}], int32(i))
+	}
+	r2 := radius * radius
+	type shard struct{ edges []graph.Edge }
+	shards := make([]shard, workers2(workers))
+	par.ForStatic(n, len(shards), func(w, lo, hi int) {
+		local := &shards[w]
+		for i := lo; i < hi; i++ {
+			cx, cy := cellOf(i)
+			for dx := -1; dx <= 1; dx++ {
+				for dy := -1; dy <= 1; dy++ {
+					for _, j := range bucket[[2]int{cx + dx, cy + dy}] {
+						if int32(i) >= j {
+							continue
+						}
+						ddx, ddy := xs[i]-xs[j], ys[i]-ys[j]
+						if ddx*ddx+ddy*ddy <= r2 {
+							local.edges = append(local.edges, graph.Edge{U: int32(i), V: j, W: 1})
+						}
+					}
+				}
+			}
+		}
+	})
+	var edges []graph.Edge
+	for _, s := range shards {
+		edges = append(edges, s.edges...)
+	}
+	return graph.FromEdges(n, edges, workers)
+}
+
+func workers2(w int) int {
+	if w <= 0 {
+		return par.DefaultWorkers()
+	}
+	return w
+}
+
+// SBMConfig parameterizes the planted-partition / stochastic-block-model
+// generator used for the metagenomics analogs (MG1, MG2): Communities
+// community sizes, average intra-community degree per vertex, and the
+// fraction of a vertex's edges that cross communities.
+type SBMConfig struct {
+	Communities  []int   // size of each planted community (all > 0)
+	IntraDegree  float64 // expected intra-community degree per vertex
+	CrossFrac    float64 // fraction of additional cross-community edges per vertex (0..1)
+	WeightedEdge bool    // if true, intra edges get weight 2, cross weight 1
+}
+
+// SBM generates a planted-partition graph and returns it together with the
+// ground-truth community assignment. High IntraDegree with low CrossFrac
+// yields the modularity ≈ 0.97+ regime of the paper's MG inputs.
+func SBM(cfg SBMConfig, seed uint64, workers int) (*graph.Graph, []int32) {
+	if len(cfg.Communities) == 0 {
+		panic("generate: SBM needs at least one community")
+	}
+	n := 0
+	for _, s := range cfg.Communities {
+		if s <= 0 {
+			panic("generate: SBM community sizes must be positive")
+		}
+		n += s
+	}
+	truth := make([]int32, n)
+	starts := make([]int, len(cfg.Communities)+1)
+	for c, s := range cfg.Communities {
+		starts[c+1] = starts[c] + s
+		for i := starts[c]; i < starts[c+1]; i++ {
+			truth[i] = int32(c)
+		}
+	}
+	rng := par.NewRNG(seed)
+	var edges []graph.Edge
+	intraW, crossW := 1.0, 1.0
+	if cfg.WeightedEdge {
+		intraW = 2.0
+	}
+	for c, s := range cfg.Communities {
+		base := starts[c]
+		// Ring to keep each community connected, then random intra edges to
+		// reach the target expected degree.
+		for i := 0; i < s; i++ {
+			j := (i + 1) % s
+			if s > 1 && i < j {
+				edges = append(edges, graph.Edge{U: int32(base + i), V: int32(base + j), W: intraW})
+			}
+		}
+		extra := int(float64(s) * (cfg.IntraDegree - 2) / 2)
+		for e := 0; e < extra; e++ {
+			u := base + rng.Intn(s)
+			v := base + rng.Intn(s)
+			if u != v {
+				edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: intraW})
+			}
+		}
+	}
+	cross := int(float64(n) * cfg.CrossFrac / 2)
+	for e := 0; e < cross; e++ {
+		u := rng.Intn(n)
+		v := rng.Intn(n)
+		if truth[u] != truth[v] {
+			edges = append(edges, graph.Edge{U: int32(u), V: int32(v), W: crossW})
+		}
+	}
+	return graph.FromEdges(n, edges, workers), truth
+}
+
+// PowerLawCommunitySizes returns count community sizes following a truncated
+// power law between min and max with the given exponent, deterministic for a
+// fixed seed, sorted descending. Used to shape MG-like inputs.
+func PowerLawCommunitySizes(count, min, max int, exponent float64, seed uint64) []int {
+	if count < 1 || min < 1 || max < min {
+		panic("generate: bad PowerLawCommunitySizes parameters")
+	}
+	rng := par.NewRNG(seed)
+	sizes := make([]int, count)
+	// Inverse-CDF sampling of p(s) ∝ s^(-exponent) on [min, max].
+	a := 1 - exponent
+	if math.Abs(a) < 1e-9 {
+		a = -1e-9 // exponent 1: avoid the degenerate log case with a nudge
+	}
+	lo, hi := math.Pow(float64(min), a), math.Pow(float64(max), a)
+	for i := range sizes {
+		u := rng.Float64()
+		s := math.Pow(lo+u*(hi-lo), 1/a)
+		sizes[i] = int(s)
+		if sizes[i] < min {
+			sizes[i] = min
+		}
+		if sizes[i] > max {
+			sizes[i] = max
+		}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	return sizes
+}

@@ -1,0 +1,371 @@
+package generate
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/graph"
+)
+
+func TestBarabasiAlbertShape(t *testing.T) {
+	g := BarabasiAlbert(2000, 5, 1)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := graph.ComputeStats(g)
+	if st.AvgDeg < 6 || st.AvgDeg > 12 {
+		t.Fatalf("avg degree %v outside BA expectation", st.AvgDeg)
+	}
+	// Preferential attachment must produce heavy tails: RSD well above a
+	// uniform graph's and a max degree far above the mean.
+	if st.RSD < 0.5 {
+		t.Fatalf("RSD %v too small for a BA graph", st.RSD)
+	}
+	if float64(st.MaxDeg) < 5*st.AvgDeg {
+		t.Fatalf("max degree %d not hub-like (avg %v)", st.MaxDeg, st.AvgDeg)
+	}
+	if _, count := graph.ConnectedComponents(g); count != 1 {
+		t.Fatalf("BA graph must be connected, got %d components", count)
+	}
+}
+
+func TestBarabasiAlbertDeterministic(t *testing.T) {
+	a := BarabasiAlbert(300, 3, 7)
+	b := BarabasiAlbert(300, 3, 7)
+	if a.ArcCount() != b.ArcCount() || a.TotalWeight() != b.TotalWeight() {
+		t.Fatal("same seed must give identical graphs")
+	}
+}
+
+func TestCliqueChainStructure(t *testing.T) {
+	g := CliqueChain(10, 6, 2, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	wantN := 6 + 9*4
+	if g.N() != wantN {
+		t.Fatalf("n=%d want %d", g.N(), wantN)
+	}
+	// First clique is complete.
+	for i := 0; i < 6; i++ {
+		for j := i + 1; j < 6; j++ {
+			if !g.HasEdge(i, j) {
+				t.Fatalf("missing clique edge {%d,%d}", i, j)
+			}
+		}
+	}
+	if _, count := graph.ConnectedComponents(g); count != 1 {
+		t.Fatal("overlapping cliques must be connected")
+	}
+}
+
+func TestTorus3DRegular(t *testing.T) {
+	g := Torus3D(4, 4, 4, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := graph.ComputeStats(g)
+	if st.RSD != 0 {
+		t.Fatalf("torus RSD=%v want 0", st.RSD)
+	}
+	if st.MaxDeg != 26 {
+		t.Fatalf("torus degree=%d want 26", st.MaxDeg)
+	}
+}
+
+func TestTorus3DSmallestAllowed(t *testing.T) {
+	g := Torus3D(3, 3, 3, 0)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	// In a 3-torus the 26 Moore offsets collapse onto fewer distinct
+	// vertices; degree must still be uniform.
+	if st.RSD != 0 {
+		t.Fatalf("RSD=%v want 0", st.RSD)
+	}
+}
+
+func TestRoadNetworkShape(t *testing.T) {
+	g := RoadNetwork(30, 0.12, 0.5, 4, 3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	if st.AvgDeg < 1.5 || st.AvgDeg > 3.0 {
+		t.Fatalf("road avg degree %v outside [1.5, 3.0]", st.AvgDeg)
+	}
+	// Road analogs need a healthy single-degree population for the VF
+	// heuristic experiments.
+	single := 0
+	for i := 0; i < g.N(); i++ {
+		if g.OutDegree(i) == 1 {
+			single++
+		}
+	}
+	if single < g.N()/20 {
+		t.Fatalf("only %d/%d single-degree vertices", single, g.N())
+	}
+	if _, count := graph.ConnectedComponents(g); count != 1 {
+		t.Fatalf("road network must be connected, got %d components", count)
+	}
+}
+
+func TestRMATShapeAndDeterminism(t *testing.T) {
+	g := RMAT(10, 8, Social, 1, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 1024 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := graph.ComputeStats(g)
+	if st.RSD < 0.8 {
+		t.Fatalf("RMAT RSD=%v, want skewed (> 0.8)", st.RSD)
+	}
+	for i := 0; i < g.N(); i++ {
+		if g.SelfLoopWeight(i) != 0 {
+			t.Fatalf("RMAT emitted a self-loop at %d", i)
+		}
+	}
+	g2 := RMAT(10, 8, Social, 1, 4)
+	if g.ArcCount() != g2.ArcCount() || g.TotalWeight() != g2.TotalWeight() {
+		t.Fatal("RMAT must be deterministic for fixed seed and workers")
+	}
+}
+
+func TestRMATWorkerCountInvariance(t *testing.T) {
+	// Worker streams are split by static slab index; equal worker counts
+	// must give identical graphs, and the graph must be valid for any count.
+	a := RMAT(9, 6, Web, 5, 2)
+	b := RMAT(9, 6, Web, 5, 2)
+	if a.ArcCount() != b.ArcCount() {
+		t.Fatal("same worker count should reproduce")
+	}
+	c := RMAT(9, 6, Web, 5, 8)
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomGeometricShape(t *testing.T) {
+	g := RandomGeometric(3000, radiusForAvgDeg(3000, 12), 2, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	st := graph.ComputeStats(g)
+	if st.AvgDeg < 8 || st.AvgDeg > 16 {
+		t.Fatalf("rgg avg degree %v outside [8,16] (target 12)", st.AvgDeg)
+	}
+	if st.RSD > 0.6 {
+		t.Fatalf("rgg RSD %v too skewed", st.RSD)
+	}
+}
+
+func TestSBMGroundTruthDominatesStructure(t *testing.T) {
+	sizes := []int{100, 80, 60, 40}
+	g, truth := SBM(SBMConfig{Communities: sizes, IntraDegree: 16, CrossFrac: 0.05}, 1, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 280 || len(truth) != 280 {
+		t.Fatalf("n=%d", g.N())
+	}
+	intra, inter := 0, 0
+	for i := 0; i < g.N(); i++ {
+		nbr, _ := g.Neighbors(i)
+		for _, j := range nbr {
+			if truth[i] == truth[j] {
+				intra++
+			} else {
+				inter++
+			}
+		}
+	}
+	if intra < 10*inter {
+		t.Fatalf("intra=%d inter=%d: planted structure too weak", intra, inter)
+	}
+	// Truth must label contiguous blocks of the declared sizes.
+	idx := 0
+	for c, s := range sizes {
+		for k := 0; k < s; k++ {
+			if truth[idx] != int32(c) {
+				t.Fatalf("truth[%d]=%d want %d", idx, truth[idx], c)
+			}
+			idx++
+		}
+	}
+}
+
+func TestSBMWeightedEdges(t *testing.T) {
+	g, truth := SBM(SBMConfig{Communities: []int{30, 30}, IntraDegree: 8, CrossFrac: 0.4, WeightedEdge: true}, 3, 2)
+	foundCross := false
+	for i := 0; i < g.N() && !foundCross; i++ {
+		nbr, w := g.Neighbors(i)
+		for k, j := range nbr {
+			if truth[i] != truth[j] {
+				foundCross = true
+				if w[k] != 1 {
+					t.Fatalf("cross edge weight %v want 1", w[k])
+				}
+				break
+			}
+		}
+	}
+	if !foundCross {
+		t.Fatal("no cross edges generated with CrossFrac=0.4")
+	}
+}
+
+func TestPowerLawCommunitySizes(t *testing.T) {
+	sizes := PowerLawCommunitySizes(200, 10, 500, 2.2, 4)
+	if len(sizes) != 200 {
+		t.Fatalf("len=%d", len(sizes))
+	}
+	for i, s := range sizes {
+		if s < 10 || s > 500 {
+			t.Fatalf("size[%d]=%d out of [10,500]", i, s)
+		}
+		if i > 0 && sizes[i-1] < s {
+			t.Fatal("sizes not sorted descending")
+		}
+	}
+	// Heavy tail: small communities should dominate the count.
+	small := 0
+	for _, s := range sizes {
+		if s < 50 {
+			small++
+		}
+	}
+	if small < 100 {
+		t.Fatalf("only %d/200 small communities; distribution not heavy-tailed", small)
+	}
+	// Exponent exactly 1 must not panic (degenerate inverse CDF case).
+	_ = PowerLawCommunitySizes(10, 5, 50, 1.0, 1)
+}
+
+func TestSuiteGeneratesAllInputsSmall(t *testing.T) {
+	for _, in := range Suite() {
+		g, err := Generate(in, Small, 0, 4)
+		if err != nil {
+			t.Fatalf("%s: %v", in, err)
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("%s: invalid graph: %v", in, err)
+		}
+		if g.N() < 100 {
+			t.Fatalf("%s: suspiciously small n=%d", in, g.N())
+		}
+		st := graph.ComputeStats(g)
+		t.Logf("%-12s %s", in, st)
+	}
+}
+
+func TestSuiteShapesMatchPaperTable1(t *testing.T) {
+	// The suite's purpose is reproducing Table 1's qualitative shapes.
+	type bound struct {
+		in     Input
+		minRSD float64
+		maxRSD float64
+		minAvg float64
+		maxAvg float64
+	}
+	bounds := []bound{
+		{CNR, 0.8, 99, 4, 40},         // paper RSD 13.0: extreme skew
+		{CoPapers, 0, 0.9, 15, 60},    // paper RSD 1.17, avg 56
+		{Channel, 0, 0.01, 15, 30},    // paper RSD 0.061, avg 17.8
+		{EuropeOSM, 0, 1.2, 1.4, 3.2}, // paper RSD 0.225, avg 2.12
+		{LiveJournal, 0.6, 99, 8, 64}, // paper RSD 2.55, avg 28
+		{MG1, 0, 3, 8, 64},            // paper RSD 2.3, avg 160
+		{RGG, 0, 0.6, 8, 24},          // paper RSD 0.251, avg 15.8
+		{UK2002, 0.9, 99, 6, 48},      // paper RSD 5.1, avg 28
+		{NLPKKT, 0, 0.01, 15, 30},     // paper RSD 0.083, avg 26.7
+		{MG2, 0, 3, 8, 80},            // paper RSD 2.37, avg 122
+		{Friendster, 0.9, 99, 8, 80},  // paper RSD 17.4, avg 69
+	}
+	for _, b := range bounds {
+		g := MustGenerate(b.in, Small, 0, 4)
+		st := graph.ComputeStats(g)
+		if st.RSD < b.minRSD || st.RSD > b.maxRSD {
+			t.Errorf("%s: RSD %.3f outside [%.2f, %.2f]", b.in, st.RSD, b.minRSD, b.maxRSD)
+		}
+		if st.AvgDeg < b.minAvg || st.AvgDeg > b.maxAvg {
+			t.Errorf("%s: avg degree %.2f outside [%.1f, %.1f]", b.in, st.AvgDeg, b.minAvg, b.maxAvg)
+		}
+	}
+}
+
+func TestGenerateUnknownInput(t *testing.T) {
+	if _, err := Generate(Input("nope"), Small, 0, 1); err == nil {
+		t.Fatal("want error for unknown input")
+	}
+}
+
+func TestGroundTruthOnlyForSBMInputs(t *testing.T) {
+	if _, ok := GroundTruth(CNR, Small, 0, 2); ok {
+		t.Fatal("CNR has no ground truth")
+	}
+	truth, ok := GroundTruth(MG1, Small, 0, 2)
+	if !ok || len(truth) == 0 {
+		t.Fatal("MG1 must provide ground truth")
+	}
+	g := MustGenerate(MG1, Small, 0, 2)
+	if len(truth) != g.N() {
+		t.Fatalf("truth length %d != n %d", len(truth), g.N())
+	}
+}
+
+func TestGeneratorsDeterministicProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		a := MustGenerate(EuropeOSM, Small, seed, 2)
+		b := MustGenerate(EuropeOSM, Small, seed, 2)
+		return a.ArcCount() == b.ArcCount() &&
+			math.Abs(a.TotalWeight()-b.TotalWeight()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 10}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSortedCopy(t *testing.T) {
+	in := []int{3, 1, 2}
+	out := SortedCopy(in)
+	if out[0] != 3 || out[1] != 2 || out[2] != 1 {
+		t.Fatalf("got %v", out)
+	}
+	if in[0] != 3 || in[1] != 1 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestPanicsOnBadParameters(t *testing.T) {
+	assertPanics(t, func() { BarabasiAlbert(1, 1, 0) })
+	assertPanics(t, func() { CliqueChain(1, 1, 0, 0) })
+	assertPanics(t, func() { CliqueChain(1, 4, 4, 0) })
+	assertPanics(t, func() { Torus3D(2, 3, 3, 0) })
+	assertPanics(t, func() { RoadNetwork(1, 0.5, 0.5, 3, 0) })
+	assertPanics(t, func() { RMAT(0, 8, Social, 0, 1) })
+	assertPanics(t, func() { RMAT(5, 8, RMATConfig{0.5, 0.5, 0.5, 0.5}, 0, 1) })
+	assertPanics(t, func() { RandomGeometric(0, 0.1, 0, 1) })
+	assertPanics(t, func() { RandomGeometric(10, 1.5, 0, 1) })
+	assertPanics(t, func() { SBM(SBMConfig{}, 0, 1) })
+	assertPanics(t, func() { SBM(SBMConfig{Communities: []int{0}}, 0, 1) })
+	assertPanics(t, func() { PowerLawCommunitySizes(0, 1, 2, 2, 0) })
+}
+
+func assertPanics(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}

@@ -1,0 +1,122 @@
+package generate
+
+import (
+	"testing"
+
+	"grappolo/internal/graph"
+)
+
+func lfrDefaults() LFRConfig {
+	return LFRConfig{
+		N:         2000,
+		AvgDegree: 15,
+		MaxDegree: 100,
+		DegreeExp: 2.5,
+		CommExp:   1.5,
+		MinComm:   20,
+		MaxComm:   200,
+		Mu:        0.2,
+	}
+}
+
+func TestLFRBasicShape(t *testing.T) {
+	g, truth := LFR(lfrDefaults(), 1, 4)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 2000 || len(truth) != 2000 {
+		t.Fatalf("n=%d", g.N())
+	}
+	st := graph.ComputeStats(g)
+	if st.AvgDeg < 8 || st.AvgDeg > 22 {
+		t.Fatalf("avg degree %v outside [8,22] (target 15)", st.AvgDeg)
+	}
+	// Power-law degrees: RSD well above a uniform graph's.
+	if st.RSD < 0.3 {
+		t.Fatalf("RSD %v too uniform for LFR", st.RSD)
+	}
+}
+
+func TestLFRMixingParameterControlsStructure(t *testing.T) {
+	measureMix := func(mu float64) float64 {
+		cfg := lfrDefaults()
+		cfg.Mu = mu
+		g, truth := LFR(cfg, 2, 4)
+		intra, inter := 0.0, 0.0
+		for i := 0; i < g.N(); i++ {
+			nbr, _ := g.Neighbors(i)
+			for _, j := range nbr {
+				if truth[i] == truth[j] {
+					intra++
+				} else {
+					inter++
+				}
+			}
+		}
+		return inter / (inter + intra)
+	}
+	low := measureMix(0.1)
+	high := measureMix(0.5)
+	if low >= high {
+		t.Fatalf("mixing did not increase with Mu: %.3f vs %.3f", low, high)
+	}
+	if low > 0.25 {
+		t.Fatalf("Mu=0.1 realized mixing %.3f too high", low)
+	}
+	if high < 0.3 {
+		t.Fatalf("Mu=0.5 realized mixing %.3f too low", high)
+	}
+}
+
+func TestLFRCommunitySizesWithinBounds(t *testing.T) {
+	g, truth := LFR(lfrDefaults(), 3, 2)
+	_ = g
+	counts := map[int32]int{}
+	for _, c := range truth {
+		counts[c]++
+	}
+	if len(counts) < 5 {
+		t.Fatalf("only %d communities", len(counts))
+	}
+	for c, s := range counts {
+		// MaxComm can be exceeded slightly by the remainder fold.
+		if s < 2 || s > 2*200 {
+			t.Fatalf("community %d has size %d", c, s)
+		}
+	}
+}
+
+func TestLFRTruthContiguous(t *testing.T) {
+	_, truth := LFR(lfrDefaults(), 4, 2)
+	for i := 1; i < len(truth); i++ {
+		if truth[i] < truth[i-1] {
+			t.Fatal("truth labels must be non-decreasing (contiguous blocks)")
+		}
+	}
+}
+
+func TestLFRDeterministic(t *testing.T) {
+	a, _ := LFR(lfrDefaults(), 9, 4)
+	b, _ := LFR(lfrDefaults(), 9, 4)
+	if a.ArcCount() != b.ArcCount() || a.TotalWeight() != b.TotalWeight() {
+		t.Fatal("LFR must be deterministic for fixed seed")
+	}
+}
+
+func TestLFRBadParamsPanic(t *testing.T) {
+	bad := []LFRConfig{
+		{},
+		{N: 100, AvgDegree: 10, MaxDegree: 50, MinComm: 10, MaxComm: 5, Mu: 0.2},
+		{N: 100, AvgDegree: 10, MaxDegree: 50, MinComm: 10, MaxComm: 50, Mu: 1.0},
+	}
+	for i, cfg := range bad {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("case %d: expected panic", i)
+				}
+			}()
+			LFR(cfg, 0, 1)
+		}()
+	}
+}

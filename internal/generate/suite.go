@@ -1,0 +1,171 @@
+package generate
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"grappolo/internal/graph"
+)
+
+// Scale selects how large the synthetic input suite is. The paper's graphs
+// span 325 K – 52 M vertices; the suite reproduces their shapes at sizes
+// suitable for unit tests (Small), example programs (Medium), and the
+// benchmark harness (Large).
+type Scale int
+
+const (
+	// Small keeps every input under ~3k vertices (test suites).
+	Small Scale = iota
+	// Medium targets ~10k-60k vertices (examples, quick experiments).
+	Medium
+	// Large targets ~40k-260k vertices (benchmark harness).
+	Large
+)
+
+// Input identifies one of the 11 synthetic analogs of the paper's Table 1.
+type Input string
+
+// The 11 inputs of the paper's evaluation (Table 1), in table order.
+const (
+	CNR         Input = "cnr"         // web crawl, extreme degree skew
+	CoPapers    Input = "copapers"    // co-authorship, clique-heavy
+	Channel     Input = "channel"     // uniform mesh, weak communities
+	EuropeOSM   Input = "europe"      // road network, avg degree ~2
+	LiveJournal Input = "livejournal" // social, R-MAT
+	MG1         Input = "mg1"         // metagenomics, strong communities
+	RGG         Input = "rgg"         // random geometric
+	UK2002      Input = "uk"          // web, skewed (coloring stress)
+	NLPKKT      Input = "nlpkkt"      // optimization mesh, poor structure
+	MG2         Input = "mg2"         // metagenomics, larger
+	Friendster  Input = "friendster"  // largest social
+)
+
+// Suite returns the 11 inputs in the paper's Table 1 order.
+func Suite() []Input {
+	return []Input{CNR, CoPapers, Channel, EuropeOSM, LiveJournal, MG1, RGG, UK2002, NLPKKT, MG2, Friendster}
+}
+
+// Generate builds the named input analog at the given scale. The seed
+// perturbs the deterministic default stream; use 0 for the canonical
+// instance referenced by EXPERIMENTS.md.
+func Generate(in Input, sc Scale, seed uint64, workers int) (*graph.Graph, error) {
+	s := seed + 0x5eed
+	switch in {
+	case CNR:
+		// Web crawl: extreme hub skew + strong site communities (paper
+		// Q ≈ 0.91, degree RSD 13).
+		sizes := PowerLawCommunitySizes(pick(sc, 25, 250, 700), 8, pick(sc, 400, 2500, 6000), 1.9, s)
+		g, _ := HubCommunities(HubCommunitiesConfig{
+			Sizes: sizes, IntraDegree: 10, CrossFrac: 0.08, HubFanout: 3,
+		}, s, workers)
+		return g, nil
+	case CoPapers:
+		count := pick(sc, 40, 400, 1200)
+		return CliqueChain(count, 24, 4, s), nil
+	case Channel:
+		d := pick(sc, 10, 24, 40)
+		return Torus3D(d, d, d, s), nil
+	case EuropeOSM:
+		side := pick(sc, 28, 90, 220)
+		return RoadNetwork(side, 0.12, 0.5, 4, s), nil
+	case LiveJournal:
+		// Social network: hub skew with moderate community structure
+		// (paper Q ≈ 0.75).
+		sizes := PowerLawCommunitySizes(pick(sc, 30, 300, 800), 6, pick(sc, 250, 1200, 3000), 2.1, s)
+		g, _ := HubCommunities(HubCommunitiesConfig{
+			Sizes: sizes, IntraDegree: 12, CrossFrac: 0.9, HubFanout: 4,
+		}, s, workers)
+		return g, nil
+	case MG1:
+		sizes := PowerLawCommunitySizes(pick(sc, 20, 120, 300), 20, pick(sc, 120, 400, 800), 2.2, s)
+		g, _ := SBM(SBMConfig{Communities: sizes, IntraDegree: 24, CrossFrac: 0.04}, s, workers)
+		return g, nil
+	case RGG:
+		n := pick(sc, 2000, 30000, 120000)
+		return RandomGeometric(n, radiusForAvgDeg(n, 15.8), s, workers), nil
+	case UK2002:
+		// Web crawl, larger and more skewed than CNR (paper Q ≈ 0.99,
+		// degree RSD 5.1, and the skew that makes coloring sets uneven).
+		sizes := PowerLawCommunitySizes(pick(sc, 30, 300, 900), 10, pick(sc, 500, 4000, 10000), 1.7, s)
+		g, _ := HubCommunities(HubCommunitiesConfig{
+			Sizes: sizes, IntraDegree: 12, CrossFrac: 0.02, HubFanout: 6,
+		}, s, workers)
+		return g, nil
+	case NLPKKT:
+		d := pick(sc, 11, 26, 44)
+		return Torus3D(d, d, d, s), nil
+	case MG2:
+		sizes := PowerLawCommunitySizes(pick(sc, 30, 200, 500), 30, pick(sc, 150, 500, 1000), 2.0, s)
+		g, _ := SBM(SBMConfig{Communities: sizes, IntraDegree: 30, CrossFrac: 0.01}, s, workers)
+		return g, nil
+	case Friendster:
+		// Largest social input: weaker communities (paper Q ≈ 0.63) and the
+		// heaviest degree tail (RSD 17).
+		sizes := PowerLawCommunitySizes(pick(sc, 45, 450, 1200), 6, pick(sc, 700, 5000, 15000), 1.8, s+1)
+		g, _ := HubCommunities(HubCommunitiesConfig{
+			Sizes: sizes, IntraDegree: 10, CrossFrac: 2.0, HubFanout: 8,
+		}, s+1, workers)
+		return g, nil
+	default:
+		return nil, fmt.Errorf("generate: unknown input %q (known: %v)", in, Suite())
+	}
+}
+
+// MustGenerate is Generate for known-good inputs; it panics on error.
+// Intended for tests and benchmarks where the input set is fixed.
+func MustGenerate(in Input, sc Scale, seed uint64, workers int) *graph.Graph {
+	g, err := Generate(in, sc, seed, workers)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}
+
+// GroundTruth reports whether the input has a planted ground-truth
+// partition (the SBM-based metagenomics analogs) and returns it.
+func GroundTruth(in Input, sc Scale, seed uint64, workers int) ([]int32, bool) {
+	s := seed + 0x5eed
+	switch in {
+	case MG1:
+		sizes := PowerLawCommunitySizes(pick(sc, 20, 120, 300), 20, pick(sc, 120, 400, 800), 2.2, s)
+		_, truth := SBM(SBMConfig{Communities: sizes, IntraDegree: 24, CrossFrac: 0.04}, s, workers)
+		return truth, true
+	case MG2:
+		sizes := PowerLawCommunitySizes(pick(sc, 30, 200, 500), 30, pick(sc, 150, 500, 1000), 2.0, s)
+		_, truth := SBM(SBMConfig{Communities: sizes, IntraDegree: 30, CrossFrac: 0.01}, s, workers)
+		return truth, true
+	default:
+		return nil, false
+	}
+}
+
+func pick(sc Scale, small, medium, large int) int {
+	switch sc {
+	case Small:
+		return small
+	case Medium:
+		return medium
+	default:
+		return large
+	}
+}
+
+// radiusForAvgDeg returns the RGG radius that yields the requested expected
+// average degree for n uniform points in the unit square:
+// E[deg] = n·π·r² (ignoring boundary effects).
+func radiusForAvgDeg(n int, avgDeg float64) float64 {
+	r := math.Sqrt(avgDeg / (math.Pi * float64(n)))
+	if r >= 1 {
+		r = 0.5
+	}
+	return r
+}
+
+// SortedCopy returns a descending copy of sizes; exported for harness code
+// that reports community-size distributions.
+func SortedCopy(sizes []int) []int {
+	out := append([]int(nil), sizes...)
+	sort.Sort(sort.Reverse(sort.IntSlice(out)))
+	return out
+}

@@ -1,0 +1,7 @@
+package graph
+
+import "sync/atomic"
+
+func atomicInc(cell *int64) { atomic.AddInt64(cell, 1) }
+
+func atomicAdd(cell *int64, d int64) int64 { return atomic.AddInt64(cell, d) }

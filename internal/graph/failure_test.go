@@ -1,0 +1,61 @@
+package graph
+
+import (
+	"bytes"
+	"testing"
+)
+
+// Failure-injection tests: corrupt serialized graphs must fail loudly, not
+// produce silently wrong structures.
+
+func TestBinaryTruncatedAtEveryBoundary(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	// Truncate at a spread of offsets including each header/array boundary.
+	cuts := []int{0, 7, 8, 16, 23, 24, 40, len(full) / 2, len(full) - 1}
+	for _, cut := range cuts {
+		if cut >= len(full) {
+			continue
+		}
+		if _, err := ReadBinary(bytes.NewReader(full[:cut]), 1); err == nil {
+			t.Fatalf("truncation at %d bytes accepted", cut)
+		}
+	}
+	// The intact stream still loads.
+	if _, err := ReadBinary(bytes.NewReader(full), 1); err != nil {
+		t.Fatalf("intact stream rejected: %v", err)
+	}
+}
+
+func TestBinaryCorruptedCountsRejected(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// Inflate the arc count field (bytes 16..24) so array reads overrun.
+	data[16] = 0xff
+	if _, err := ReadBinary(bytes.NewReader(data), 1); err == nil {
+		t.Fatal("corrupted arc count accepted")
+	}
+}
+
+func TestBinaryCorruptedAdjacencyCaughtByValidate(t *testing.T) {
+	g := triangle(t)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	data := append([]byte(nil), buf.Bytes()...)
+	// Flip a byte inside the adjacency region: offsets are
+	// 24 (header) + 8*(n+1) = 24+32 = 56; adjacency starts at 56.
+	data[56] ^= 0x7f
+	if _, err := ReadBinary(bytes.NewReader(data), 1); err == nil {
+		t.Fatal("corrupted adjacency accepted (Validate should reject)")
+	}
+}

@@ -1,0 +1,85 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRelabelPreservesStructure(t *testing.T) {
+	g := triangle(t)
+	perm := []int32{2, 0, 1}
+	rg, err := Relabel(g, perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rg.N() != g.N() || rg.ArcCount() != g.ArcCount() {
+		t.Fatal("shape changed")
+	}
+	if math.Abs(rg.TotalWeight()-g.TotalWeight()) > 1e-12 {
+		t.Fatal("weight changed")
+	}
+	// Edge {0,1} w=1 → {2,0}; self-loop at 2 (w=5) → at 1.
+	if w, ok := rg.EdgeWeight(2, 0); !ok || w != 1 {
+		t.Fatalf("relabeled edge weight %v", w)
+	}
+	if rg.SelfLoopWeight(1) != 5 {
+		t.Fatalf("self-loop weight %v", rg.SelfLoopWeight(1))
+	}
+}
+
+func TestRelabelErrors(t *testing.T) {
+	g := triangle(t)
+	if _, err := Relabel(g, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+	if _, err := Relabel(g, []int32{0, 0, 1}); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	if _, err := Relabel(g, []int32{0, 1, 9}); err == nil {
+		t.Fatal("want range error")
+	}
+}
+
+func TestRandomPermutation(t *testing.T) {
+	p := RandomPermutation(100, 1)
+	seen := make([]bool, 100)
+	for _, v := range p {
+		if v < 0 || int(v) >= 100 || seen[v] {
+			t.Fatal("not a permutation")
+		}
+		seen[v] = true
+	}
+	q := RandomPermutation(100, 1)
+	for i := range p {
+		if p[i] != q[i] {
+			t.Fatal("not deterministic")
+		}
+	}
+}
+
+func TestBFSOrderIsPermutationAndLocal(t *testing.T) {
+	// Path graph: BFS order from 0 must be the identity.
+	b := NewBuilder(6)
+	for i := 0; i+1 < 6; i++ {
+		b.AddEdge(int32(i), int32(i+1), 1)
+	}
+	g := b.Build(1)
+	perm := BFSOrder(g)
+	for i, p := range perm {
+		if p != int32(i) {
+			t.Fatalf("path BFS order not identity: %v", perm)
+		}
+	}
+	// Disconnected pieces: all vertices still covered exactly once.
+	b2 := NewBuilder(5)
+	b2.AddEdge(3, 4, 1)
+	g2 := b2.Build(1)
+	perm2 := BFSOrder(g2)
+	seen := make([]bool, 5)
+	for _, p := range perm2 {
+		if p < 0 || int(p) >= 5 || seen[p] {
+			t.Fatal("not a permutation")
+		}
+		seen[p] = true
+	}
+}

@@ -1,0 +1,98 @@
+package graph
+
+import (
+	"testing"
+)
+
+func TestInducedSubgraphTriangle(t *testing.T) {
+	// 4-vertex graph: triangle 0-1-2 plus pendant 3, extract the triangle.
+	b := NewBuilder(4)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(0, 2, 3)
+	b.AddEdge(2, 3, 4)
+	b.AddEdge(1, 1, 5)
+	g := b.Build(2)
+	sub, remap, err := InducedSubgraph(g, []int32{0, 1, 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.EdgeCount() != 4 { // 3 triangle edges + self-loop
+		t.Fatalf("n=%d m=%d", sub.N(), sub.EdgeCount())
+	}
+	if w, ok := sub.EdgeWeight(int(remap[1]), int(remap[2])); !ok || w != 2 {
+		t.Fatalf("edge 1-2 weight %v", w)
+	}
+	if sub.SelfLoopWeight(int(remap[1])) != 5 {
+		t.Fatal("self-loop lost")
+	}
+	if remap[3] != -1 {
+		t.Fatal("excluded vertex must map to -1")
+	}
+}
+
+func TestInducedSubgraphErrors(t *testing.T) {
+	g := triangle(t)
+	if _, _, err := InducedSubgraph(g, []int32{0, 7}, 1); err == nil {
+		t.Fatal("want out-of-range error")
+	}
+	if _, _, err := InducedSubgraph(g, []int32{0, 0}, 1); err == nil {
+		t.Fatal("want duplicate error")
+	}
+	sub, _, err := InducedSubgraph(g, nil, 1)
+	if err != nil || sub.N() != 0 {
+		t.Fatalf("empty selection: %v", err)
+	}
+}
+
+func TestCommunitySubgraph(t *testing.T) {
+	// Two triangles joined by one edge; membership by triangle.
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 1)
+	b.AddEdge(0, 2, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 1)
+	b.AddEdge(3, 5, 1)
+	b.AddEdge(2, 3, 1)
+	g := b.Build(2)
+	membership := []int32{0, 0, 0, 1, 1, 1}
+	sub, ids, err := CommunitySubgraph(g, membership, 1, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 3 || sub.EdgeCount() != 3 {
+		t.Fatalf("n=%d m=%d", sub.N(), sub.EdgeCount())
+	}
+	want := []int32{3, 4, 5}
+	for i, id := range ids {
+		if id != want[i] {
+			t.Fatalf("ids %v want %v", ids, want)
+		}
+	}
+	if _, _, err := CommunitySubgraph(g, membership, 9, 1); err == nil {
+		t.Fatal("want empty-community error")
+	}
+	if _, _, err := CommunitySubgraph(g, []int32{0}, 0, 1); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestDegreeHistogram(t *testing.T) {
+	// Star with 4 leaves: center degree 4, leaves degree 1.
+	b := NewBuilder(5)
+	for i := 1; i <= 4; i++ {
+		b.AddEdge(0, int32(i), 1)
+	}
+	g := b.Build(1)
+	h := DegreeHistogram(g)
+	if len(h) != 2 {
+		t.Fatalf("%v", h)
+	}
+	if h[0].Degree != 1 || h[0].Count != 4 || h[1].Degree != 4 || h[1].Count != 1 {
+		t.Fatalf("%v", h)
+	}
+	if got := DegreeHistogram(NewBuilder(0).Build(1)); len(got) != 0 {
+		t.Fatalf("empty graph histogram %v", got)
+	}
+}

@@ -1,0 +1,100 @@
+package harness
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strconv"
+)
+
+// CSV writers for the experiment tables, for plotting pipelines and
+// regression tracking. Each writer emits a header row followed by one
+// record per input, mirroring the text writers.
+
+// WriteTable2CSV emits Table 2 as CSV.
+func WriteTable2CSV(w io.Writer, rows []Table2Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "parallel_q", "serial_q", "parallel_ns", "serial_ns", "speedup", "parallel_iterations"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		rec := []string{
+			string(r.Input),
+			fmtF(r.ParallelQ), fmtF(r.SerialQ),
+			strconv.FormatInt(r.ParallelTime.Nanoseconds(), 10),
+			strconv.FormatInt(r.SerialTime.Nanoseconds(), 10),
+			fmtF(r.Speedup),
+			strconv.Itoa(r.ParallelIterates),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTable3CSV emits Table 3 as CSV.
+func WriteTable3CSV(w io.Writer, rows []Table3Row) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "specificity", "sensitivity", "overlap_quality", "rand_index"}); err != nil {
+		return err
+	}
+	for _, r := range rows {
+		m := r.Measures
+		if err := cw.Write([]string{
+			string(r.Input), fmtF(m.Specificity), fmtF(m.Sensitivity), fmtF(m.OverlapQ), fmtF(m.RandIndex),
+		}); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteTrajectoriesCSV emits the Figs. 3–6 convergence curves as long-form
+// CSV: input, scheme, iteration, modularity.
+func WriteTrajectoriesCSV(w io.Writer, sets []TrajectorySet) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "scheme", "iteration", "modularity"}); err != nil {
+		return err
+	}
+	for _, ts := range sets {
+		for scheme, curve := range ts.Curves {
+			for it, q := range curve {
+				if err := cw.Write([]string{
+					string(ts.Input), string(scheme), strconv.Itoa(it + 1), fmtF(q),
+				}); err != nil {
+					return err
+				}
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteScalingCSV emits a scaling curve as CSV: input, scheme, workers,
+// runtime_ns, rebuild_ns, modularity.
+func WriteScalingCSV(w io.Writer, curves []ScalingCurve) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"input", "scheme", "workers", "runtime_ns", "rebuild_ns", "modularity"}); err != nil {
+		return err
+	}
+	for _, c := range curves {
+		for _, p := range c.Points {
+			if err := cw.Write([]string{
+				string(c.Input), string(c.Scheme), strconv.Itoa(p.Workers),
+				strconv.FormatInt(p.Runtime.Nanoseconds(), 10),
+				strconv.FormatInt(p.RebuildTime.Nanoseconds(), 10),
+				fmtF(p.Modularity),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return fmt.Sprintf("%.6f", v) }

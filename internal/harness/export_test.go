@@ -1,0 +1,91 @@
+package harness
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+func TestTable2CSVRoundTrip(t *testing.T) {
+	rows, err := Table2(testOpts(), []generate.Input{generate.MG1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable2CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 2 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[0][0] != "input" || recs[1][0] != "mg1" {
+		t.Fatalf("records %v", recs)
+	}
+	if len(recs[1]) != 7 {
+		t.Fatalf("row width %d", len(recs[1]))
+	}
+}
+
+func TestTable3CSV(t *testing.T) {
+	rows, err := Table3(testOpts(), []generate.Input{generate.MG1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTable3CSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rand_index") {
+		t.Fatal("header missing")
+	}
+}
+
+func TestTrajectoriesCSV(t *testing.T) {
+	sets, err := Trajectories(testOpts(), []generate.Input{generate.MG1}, []Scheme{Serial, Baseline})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteTrajectoriesCSV(&buf, sets); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 3 {
+		t.Fatalf("only %d records", len(recs))
+	}
+	// Iterations must be 1-based increasing per (input, scheme).
+	if recs[1][2] != "1" {
+		t.Fatalf("first iteration %q", recs[1][2])
+	}
+}
+
+func TestScalingCSV(t *testing.T) {
+	curve, err := Scaling(testOpts(), generate.MG1, Baseline, []int{1, 2}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteScalingCSV(&buf, []ScalingCurve{curve}); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 3 {
+		t.Fatalf("%d records", len(recs))
+	}
+	if recs[1][2] != "1" || recs[2][2] != "2" {
+		t.Fatalf("worker columns %v", recs)
+	}
+}

@@ -1,0 +1,250 @@
+package harness
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+	"grappolo/internal/quality"
+)
+
+// TrajectorySet holds the modularity-vs-iteration curves of one input for
+// every scheme (the left columns of Figs. 3–6).
+type TrajectorySet struct {
+	Input  generate.Input
+	Curves map[Scheme][]float64
+}
+
+// Trajectories computes convergence curves for the given inputs and schemes.
+func Trajectories(o Options, inputs []generate.Input, schemes []Scheme) ([]TrajectorySet, error) {
+	o = o.Defaults()
+	var out []TrajectorySet
+	for _, in := range inputs {
+		g, err := o.Input(in)
+		if err != nil {
+			return nil, err
+		}
+		ts := TrajectorySet{Input: in, Curves: map[Scheme][]float64{}}
+		for _, s := range schemes {
+			ts.Curves[s] = RunScheme(g, s, o).Trajectory
+		}
+		out = append(out, ts)
+	}
+	return out, nil
+}
+
+// WriteTrajectories renders the curves as "iteration modularity" series.
+func WriteTrajectories(w io.Writer, sets []TrajectorySet) {
+	fmt.Fprintf(w, "Figs 3-6 (left): modularity vs iteration\n")
+	for _, ts := range sets {
+		for _, s := range AllSchemes() {
+			curve, ok := ts.Curves[s]
+			if !ok {
+				continue
+			}
+			fmt.Fprintf(w, "%s/%s:", ts.Input, s)
+			for _, q := range curve {
+				fmt.Fprintf(w, " %.4f", q)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
+// ScalingPoint is one (threads, runtime) sample.
+type ScalingPoint struct {
+	Workers int
+	Runtime time.Duration
+	// RebuildTime isolates the graph-rebuild step (Fig. 9).
+	RebuildTime time.Duration
+	Modularity  float64
+}
+
+// ScalingCurve holds a thread sweep for one input and scheme.
+type ScalingCurve struct {
+	Input  generate.Input
+	Scheme Scheme
+	Points []ScalingPoint
+	// SerialTime is the serial reference runtime for absolute speedups.
+	SerialTime time.Duration
+}
+
+// Scaling measures runtime versus worker count (right columns of Figs. 3–6
+// and the speedup inputs of Figs. 7 and 9).
+func Scaling(o Options, in generate.Input, s Scheme, workerCounts []int, withSerial bool) (ScalingCurve, error) {
+	o = o.Defaults()
+	g, err := o.Input(in)
+	if err != nil {
+		return ScalingCurve{}, err
+	}
+	curve := ScalingCurve{Input: in, Scheme: s}
+	for _, wk := range workerCounts {
+		ow := o
+		ow.Workers = wk
+		rs := RunScheme(g, s, ow)
+		curve.Points = append(curve.Points, ScalingPoint{
+			Workers:     wk,
+			Runtime:     rs.Runtime,
+			RebuildTime: rs.Breakdown.Rebuild,
+			Modularity:  rs.Modularity,
+		})
+	}
+	if withSerial {
+		curve.SerialTime = RunScheme(g, Serial, o).Runtime
+	}
+	return curve, nil
+}
+
+// RelativeSpeedups computes speedup relative to the first point of the
+// curve (the paper uses the 2-thread run as the reference in Fig. 7 left).
+func (c ScalingCurve) RelativeSpeedups() []float64 {
+	if len(c.Points) == 0 {
+		return nil
+	}
+	ref := float64(c.Points[0].Runtime)
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		if p.Runtime > 0 {
+			out[i] = ref / float64(p.Runtime)
+		}
+	}
+	return out
+}
+
+// AbsoluteSpeedups computes speedup over the serial reference (Fig. 7
+// right). Returns nil if the serial time was not measured.
+func (c ScalingCurve) AbsoluteSpeedups() []float64 {
+	if c.SerialTime == 0 || len(c.Points) == 0 {
+		return nil
+	}
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		if p.Runtime > 0 {
+			out[i] = float64(c.SerialTime) / float64(p.Runtime)
+		}
+	}
+	return out
+}
+
+// RebuildSpeedups computes the rebuild-step speedup relative to the first
+// point (Fig. 9).
+func (c ScalingCurve) RebuildSpeedups() []float64 {
+	if len(c.Points) == 0 {
+		return nil
+	}
+	ref := float64(c.Points[0].RebuildTime)
+	out := make([]float64, len(c.Points))
+	for i, p := range c.Points {
+		if p.RebuildTime > 0 && ref > 0 {
+			out[i] = ref / float64(p.RebuildTime)
+		}
+	}
+	return out
+}
+
+// WriteScaling renders a scaling curve with relative/absolute speedups.
+func WriteScaling(w io.Writer, c ScalingCurve) {
+	fmt.Fprintf(w, "%s/%s scaling:\n", c.Input, c.Scheme)
+	rel := c.RelativeSpeedups()
+	abs := c.AbsoluteSpeedups()
+	for i, p := range c.Points {
+		fmt.Fprintf(w, "  workers=%-3d time=%-12s rel=%.2fx", p.Workers, p.Runtime.Round(time.Microsecond), rel[i])
+		if abs != nil {
+			fmt.Fprintf(w, " abs=%.2fx", abs[i])
+		}
+		fmt.Fprintf(w, " Q=%.4f\n", p.Modularity)
+	}
+	if c.SerialTime > 0 {
+		fmt.Fprintf(w, "  serial time=%s\n", c.SerialTime.Round(time.Microsecond))
+	}
+}
+
+// BreakdownPoint is a per-worker-count step breakdown (Fig. 8).
+type BreakdownPoint struct {
+	Workers   int
+	Breakdown core.Breakdown
+}
+
+// BreakdownSweep measures the coloring/clustering/rebuild breakdown across
+// worker counts for one input under baseline+VF+Color.
+func BreakdownSweep(o Options, in generate.Input, workerCounts []int) ([]BreakdownPoint, error) {
+	o = o.Defaults()
+	g, err := o.Input(in)
+	if err != nil {
+		return nil, err
+	}
+	var out []BreakdownPoint
+	for _, wk := range workerCounts {
+		ow := o
+		ow.Workers = wk
+		rs := RunScheme(g, BaselineVFColor, ow)
+		out = append(out, BreakdownPoint{Workers: wk, Breakdown: rs.Breakdown})
+	}
+	return out, nil
+}
+
+// WriteBreakdown renders Fig. 8-style rows.
+func WriteBreakdown(w io.Writer, in generate.Input, pts []BreakdownPoint) {
+	fmt.Fprintf(w, "Fig 8: runtime breakdown for %s\n", in)
+	fmt.Fprintf(w, "%8s %14s %14s %14s %14s\n", "workers", "vf", "coloring", "clustering", "rebuild")
+	for _, p := range pts {
+		b := p.Breakdown
+		fmt.Fprintf(w, "%8d %14s %14s %14s %14s\n", p.Workers,
+			b.VF.Round(time.Microsecond), b.Coloring.Round(time.Microsecond),
+			b.Clustering.Round(time.Microsecond), b.Rebuild.Round(time.Microsecond))
+	}
+}
+
+// Profiles computes the Fig. 10 performance profiles over the given inputs:
+// final modularity (higher better) and runtime (lower better) for the three
+// parallel schemes plus serial.
+func Profiles(o Options, inputs []generate.Input) (modularity, runtime map[string][]float64, err error) {
+	o = o.Defaults()
+	mods := map[string][]float64{}
+	times := map[string][]float64{}
+	for _, in := range inputs {
+		g, gerr := o.Input(in)
+		if gerr != nil {
+			return nil, nil, gerr
+		}
+		for _, s := range AllSchemes() {
+			rs := RunScheme(g, s, o)
+			mods[string(s)] = append(mods[string(s)], rs.Modularity)
+			times[string(s)] = append(times[string(s)], float64(rs.Runtime))
+		}
+	}
+	modProf, err := quality.Profile(mods, false)
+	if err != nil {
+		return nil, nil, err
+	}
+	timeProf, err := quality.Profile(times, true)
+	if err != nil {
+		return nil, nil, err
+	}
+	return modProf, timeProf, nil
+}
+
+// WriteProfiles renders Fig. 10-style curves: for each scheme the sorted
+// ratios-to-best plus the fraction of problems within factors 1, 1.5, 2, 3.
+func WriteProfiles(w io.Writer, title string, prof map[string][]float64) {
+	fmt.Fprintf(w, "Fig 10 (%s): performance profiles\n", title)
+	taus := []float64{1.0, 1.5, 2.0, 3.0, 5.0}
+	fmt.Fprintf(w, "%-20s", "scheme")
+	for _, tau := range taus {
+		fmt.Fprintf(w, " <=%.1fx", tau)
+	}
+	fmt.Fprintln(w)
+	for _, s := range AllSchemes() {
+		curve, ok := prof[string(s)]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%-20s", s)
+		for _, tau := range taus {
+			fmt.Fprintf(w, " %5.0f%%", 100*quality.FractionWithin(curve, tau))
+		}
+		fmt.Fprintln(w)
+	}
+}

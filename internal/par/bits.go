@@ -1,0 +1,14 @@
+package par
+
+import (
+	"math"
+	"unsafe"
+)
+
+func toBits(v float64) uint64   { return math.Float64bits(v) }
+func fromBits(b uint64) float64 { return math.Float64frombits(b) }
+
+// ptr reinterprets a *float64 as an unsafe.Pointer for atomic access.
+// float64 slice elements and struct fields are 8-byte aligned on all
+// platforms Go supports, which is the only precondition for the atomic ops.
+func ptr(f *float64) unsafe.Pointer { return unsafe.Pointer(f) }

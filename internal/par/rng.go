@@ -1,0 +1,76 @@
+package par
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (splitmix64-seeded xoshiro256**). It exists so that graph generation and
+// randomized tests are reproducible across runs and platforms without
+// depending on math/rand's global state, and so that parallel generators can
+// hand each worker an independent stream via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded deterministically from seed.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new independent generator derived from r's stream. It is
+// the mechanism for giving each parallel worker its own deterministic
+// sequence: worker w of a generator seeded s uses NewRNG(s).SplitN(w).
+func (r *RNG) Split() *RNG { return NewRNG(r.Uint64()) }
+
+// SplitN returns the i-th of a family of independent generators derived
+// from r without consuming r's stream state observed by other indices.
+func (r *RNG) SplitN(i int) *RNG {
+	return NewRNG(r.s[0] ^ (uint64(i)+1)*0x9e3779b97f4a7c15)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Intn returns a uniform integer in [0, n). n must be positive.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("par: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Perm returns a deterministic pseudo-random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}

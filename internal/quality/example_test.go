@@ -1,0 +1,32 @@
+package quality_test
+
+import (
+	"fmt"
+
+	"grappolo/internal/quality"
+)
+
+// ExampleComparePartitions scores a candidate clustering against a
+// reference, as the paper's Table 3 does with the serial output as the
+// benchmark.
+func ExampleComparePartitions() {
+	serial := []int32{0, 0, 1, 1}   // reference
+	parallel := []int32{0, 0, 0, 1} // candidate merged one vertex too many
+	pc, _ := quality.ComparePartitions(serial, parallel)
+	m := pc.Derive()
+	fmt.Printf("TP=%.0f FP=%.0f FN=%.0f TN=%.0f\n", pc.TP, pc.FP, pc.FN, pc.TN)
+	fmt.Println(m)
+	// Output:
+	// TP=1 FP=2 FN=1 TN=2
+	// SP=33.33% SE=50.00% OQ=25.00% Rand=50.00%
+}
+
+// ExampleNMI compares two partitions with normalized mutual information.
+func ExampleNMI() {
+	a := []int32{0, 0, 1, 1}
+	b := []int32{5, 5, 9, 9} // same grouping, different labels
+	v, _ := quality.NMI(a, b)
+	fmt.Printf("%.2f\n", v)
+	// Output:
+	// 1.00
+}

@@ -1,0 +1,129 @@
+package quality
+
+import (
+	"fmt"
+	"math"
+)
+
+// Information-theoretic and chance-corrected partition-similarity measures.
+// The paper's Table 3 uses pair-counting measures (specificity, sensitivity,
+// overlap quality, Rand index); the paper's future work item (ii) calls for
+// "a more thorough comparison of communities produced by the serial and
+// different parallel implementations", which these standard measures from
+// the community-detection literature (Fortunato, the paper's ref. [1])
+// support: normalized mutual information, adjusted Rand index, and pairwise
+// F1.
+
+// NMI computes the normalized mutual information between two partitions,
+// using the arithmetic-mean normalization NMI = 2·I(S;P) / (H(S) + H(P)).
+// Returns 1 for identical partitions (up to relabeling), 0 for independent
+// ones. Both partitions of a single cluster each yield NMI 1 by the
+// convention H=0 → identical ⇒ 1, disjoint-entropy cases ⇒ 0.
+func NMI(s, p []int32) (float64, error) {
+	if len(s) != len(p) {
+		return 0, lengthErr(len(s), len(p))
+	}
+	n := float64(len(s))
+	if n == 0 {
+		return 1, nil
+	}
+	cont := make(map[[2]int32]float64)
+	sizeS := make(map[int32]float64)
+	sizeP := make(map[int32]float64)
+	for v := range s {
+		cont[[2]int32{s[v], p[v]}]++
+		sizeS[s[v]]++
+		sizeP[p[v]]++
+	}
+	var hS, hP float64
+	for _, c := range sizeS {
+		q := c / n
+		hS -= q * math.Log(q)
+	}
+	for _, c := range sizeP {
+		q := c / n
+		hP -= q * math.Log(q)
+	}
+	var mi float64
+	for key, c := range cont {
+		pxy := c / n
+		px := sizeS[key[0]] / n
+		py := sizeP[key[1]] / n
+		mi += pxy * math.Log(pxy/(px*py))
+	}
+	if hS+hP == 0 {
+		// Both partitions are single clusters: identical by definition.
+		return 1, nil
+	}
+	v := 2 * mi / (hS + hP)
+	// Clamp fp noise.
+	if v > 1 {
+		v = 1
+	}
+	if v < 0 {
+		v = 0
+	}
+	return v, nil
+}
+
+// AdjustedRand computes the Hubert–Arabie adjusted Rand index: the Rand
+// index corrected for chance, 1 for identical partitions, ≈0 for random
+// agreement (can be negative for adversarial disagreement).
+func AdjustedRand(s, p []int32) (float64, error) {
+	if len(s) != len(p) {
+		return 0, lengthErr(len(s), len(p))
+	}
+	n := float64(len(s))
+	if n < 2 {
+		return 1, nil
+	}
+	cont := make(map[[2]int32]float64)
+	sizeS := make(map[int32]float64)
+	sizeP := make(map[int32]float64)
+	for v := range s {
+		cont[[2]int32{s[v], p[v]}]++
+		sizeS[s[v]]++
+		sizeP[p[v]]++
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var sumIJ, sumA, sumB float64
+	for _, c := range cont {
+		sumIJ += choose2(c)
+	}
+	for _, c := range sizeS {
+		sumA += choose2(c)
+	}
+	for _, c := range sizeP {
+		sumB += choose2(c)
+	}
+	total := choose2(n)
+	expected := sumA * sumB / total
+	maxIdx := (sumA + sumB) / 2
+	if maxIdx == expected {
+		return 1, nil // both partitions all-singletons or single-cluster
+	}
+	return (sumIJ - expected) / (maxIdx - expected), nil
+}
+
+// PairwiseF1 computes the F1 score over vertex pairs, treating s as truth:
+// precision = TP/(TP+FP), recall = TP/(TP+FN), F1 their harmonic mean.
+// Degenerate cases (no positive pairs anywhere) score 1.
+func PairwiseF1(s, p []int32) (float64, error) {
+	pc, err := ComparePartitions(s, p)
+	if err != nil {
+		return 0, err
+	}
+	if pc.TP+pc.FP == 0 && pc.TP+pc.FN == 0 {
+		return 1, nil
+	}
+	m := pc.Derive()
+	prec, rec := m.Specificity, m.Sensitivity
+	if prec+rec == 0 {
+		return 0, nil
+	}
+	return 2 * prec * rec / (prec + rec), nil
+}
+
+func lengthErr(a, b int) error {
+	return fmt.Errorf("quality: partition lengths differ: %d vs %d", a, b)
+}

@@ -1,0 +1,141 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/par"
+)
+
+func TestNMIIdenticalAndRelabelled(t *testing.T) {
+	s := []int32{0, 0, 1, 1, 2, 2}
+	if v, _ := NMI(s, s); v != 1 {
+		t.Fatalf("NMI(s,s)=%v", v)
+	}
+	p := []int32{7, 7, 3, 3, 9, 9}
+	if v, _ := NMI(s, p); math.Abs(v-1) > 1e-12 {
+		t.Fatalf("NMI relabeled = %v", v)
+	}
+}
+
+func TestNMIIndependentPartitions(t *testing.T) {
+	// s splits by half, p alternates: I(S;P) = 0.
+	s := []int32{0, 0, 1, 1}
+	p := []int32{0, 1, 0, 1}
+	v, err := NMI(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v) > 1e-12 {
+		t.Fatalf("NMI independent = %v, want 0", v)
+	}
+}
+
+func TestNMIEdgeCases(t *testing.T) {
+	if v, _ := NMI(nil, nil); v != 1 {
+		t.Fatalf("empty NMI %v", v)
+	}
+	one := []int32{0, 0, 0}
+	if v, _ := NMI(one, one); v != 1 {
+		t.Fatalf("single-cluster NMI %v", v)
+	}
+	if _, err := NMI([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestNMIRange(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := par.NewRNG(seed)
+		n := 5 + rng.Intn(100)
+		s := make([]int32, n)
+		p := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(6))
+			p[i] = int32(rng.Intn(4))
+		}
+		v, err := NMI(s, p)
+		return err == nil && v >= 0 && v <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAdjustedRandKnownValues(t *testing.T) {
+	s := []int32{0, 0, 1, 1}
+	if v, _ := AdjustedRand(s, s); v != 1 {
+		t.Fatalf("ARI(s,s)=%v", v)
+	}
+	// Perfectly independent alternation: ARI should be <= 0 (here -0.5).
+	p := []int32{0, 1, 0, 1}
+	v, err := AdjustedRand(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v > 0 {
+		t.Fatalf("ARI independent = %v, want <= 0", v)
+	}
+}
+
+func TestAdjustedRandDegenerate(t *testing.T) {
+	// All singletons in both: maxIdx == expected → 1 by convention.
+	s := []int32{0, 1, 2}
+	if v, _ := AdjustedRand(s, s); v != 1 {
+		t.Fatalf("ARI singletons %v", v)
+	}
+	if v, _ := AdjustedRand([]int32{0}, []int32{0}); v != 1 {
+		t.Fatal("ARI single vertex")
+	}
+	if _, err := AdjustedRand([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+}
+
+func TestAdjustedRandVsRandIndex(t *testing.T) {
+	// ARI must not exceed 1 and must penalize chance agreement harder than
+	// the raw Rand index.
+	f := func(seed uint64) bool {
+		rng := par.NewRNG(seed)
+		n := 10 + rng.Intn(80)
+		s := make([]int32, n)
+		p := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(4))
+			p[i] = int32(rng.Intn(4))
+		}
+		ari, err := AdjustedRand(s, p)
+		if err != nil || ari > 1+1e-12 {
+			return false
+		}
+		pc, _ := ComparePartitions(s, p)
+		return ari <= pc.Derive().RandIndex+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairwiseF1(t *testing.T) {
+	s := []int32{0, 0, 1, 1}
+	if v, _ := PairwiseF1(s, s); v != 1 {
+		t.Fatalf("F1(s,s)=%v", v)
+	}
+	// S: {0,1},{2,3}  P: {0,1,2},{3}: precision 1/3, recall 1/2 → F1 = 0.4.
+	p := []int32{0, 0, 0, 1}
+	v, err := PairwiseF1(s, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-0.4) > 1e-12 {
+		t.Fatalf("F1 = %v want 0.4", v)
+	}
+	// All singletons both sides: degenerate → 1.
+	if v, _ := PairwiseF1([]int32{0, 1}, []int32{1, 0}); v != 1 {
+		t.Fatalf("degenerate F1 %v", v)
+	}
+	if _, err := PairwiseF1([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want length error")
+	}
+}

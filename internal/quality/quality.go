@@ -1,0 +1,157 @@
+// Package quality implements the partition-comparison measures of the
+// paper's qualitative evaluation (§6.2.3, Table 3) — specificity,
+// sensitivity, overlap quality and Rand index over vertex pairs — and the
+// performance-profile curves of Fig. 10.
+//
+// The paper computes the pair-counting measures by brute force over all
+// n-choose-2 pairs (Θ(n²), which is why it evaluates only two inputs). This
+// implementation uses the standard contingency-table identity instead
+// (TP = Σ_ij C(n_ij, 2) etc.), which is linear in n plus the number of
+// non-empty community intersections, so every input can be scored.
+package quality
+
+import (
+	"fmt"
+	"sort"
+)
+
+// PairCounts holds the four pair-classification counts of §6.2.3 with the
+// serial partition S as the benchmark and P as the candidate:
+// TP = same community in both, FP = same only in P, FN = same only in S,
+// TN = different in both.
+type PairCounts struct {
+	TP, FP, FN, TN float64
+}
+
+// Measures are the derived scores of Table 3 (fractions in [0,1]).
+type Measures struct {
+	Specificity float64 // TP / (TP + FP)
+	Sensitivity float64 // TP / (TP + FN)
+	OverlapQ    float64 // TP / (TP + FP + FN)
+	RandIndex   float64 // (TP + TN) / all pairs
+}
+
+// ComparePartitions classifies all vertex pairs of two equal-length
+// partitions via the contingency table and returns the counts.
+func ComparePartitions(s, p []int32) (PairCounts, error) {
+	if len(s) != len(p) {
+		return PairCounts{}, fmt.Errorf("quality: partition lengths differ: %d vs %d", len(s), len(p))
+	}
+	n := float64(len(s))
+	// Contingency counts n_ij = |{v : s(v)=i, p(v)=j}|, and marginals.
+	cont := make(map[[2]int32]float64)
+	sizeS := make(map[int32]float64)
+	sizeP := make(map[int32]float64)
+	for v := range s {
+		cont[[2]int32{s[v], p[v]}]++
+		sizeS[s[v]]++
+		sizeP[p[v]]++
+	}
+	choose2 := func(x float64) float64 { return x * (x - 1) / 2 }
+	var tp float64
+	for _, c := range cont {
+		tp += choose2(c)
+	}
+	var sameS, sameP float64
+	for _, c := range sizeS {
+		sameS += choose2(c)
+	}
+	for _, c := range sizeP {
+		sameP += choose2(c)
+	}
+	all := choose2(n)
+	pc := PairCounts{
+		TP: tp,
+		FP: sameP - tp,
+		FN: sameS - tp,
+	}
+	pc.TN = all - pc.TP - pc.FP - pc.FN
+	return pc, nil
+}
+
+// Derive computes the Table 3 measures from pair counts. Degenerate
+// denominators yield 1 (perfect score on an empty class), matching the
+// intuition that two identical partitions score 100% everywhere.
+func (pc PairCounts) Derive() Measures {
+	div := func(num, den float64) float64 {
+		if den == 0 {
+			return 1
+		}
+		return num / den
+	}
+	return Measures{
+		Specificity: div(pc.TP, pc.TP+pc.FP),
+		Sensitivity: div(pc.TP, pc.TP+pc.FN),
+		OverlapQ:    div(pc.TP, pc.TP+pc.FP+pc.FN),
+		RandIndex:   div(pc.TP+pc.TN, pc.TP+pc.FP+pc.FN+pc.TN),
+	}
+}
+
+// String renders measures as a Table 3 row (percentages).
+func (m Measures) String() string {
+	return fmt.Sprintf("SP=%.2f%% SE=%.2f%% OQ=%.2f%% Rand=%.2f%%",
+		100*m.Specificity, 100*m.Sensitivity, 100*m.OverlapQ, 100*m.RandIndex)
+}
+
+// Profile computes performance-profile curves (Fig. 10). values[scheme][k]
+// is the metric of scheme on problem k. better decides the direction:
+// for runtimes lower is better; for modularity higher is better.
+// The returned curve for each scheme is the sorted list of ratios of that
+// scheme's value to the best scheme's value on each problem (ratios >= 1);
+// plotting fraction-of-problems against ratio reproduces the figure.
+func Profile(values map[string][]float64, lowerIsBetter bool) (map[string][]float64, error) {
+	var nProblems int
+	for s, v := range values {
+		if nProblems == 0 {
+			nProblems = len(v)
+		} else if len(v) != nProblems {
+			return nil, fmt.Errorf("quality: scheme %q has %d values, want %d", s, len(v), nProblems)
+		}
+	}
+	if nProblems == 0 {
+		return map[string][]float64{}, nil
+	}
+	ratios := make(map[string][]float64, len(values))
+	for k := 0; k < nProblems; k++ {
+		best := 0.0
+		first := true
+		for _, v := range values {
+			x := v[k]
+			if first || (lowerIsBetter && x < best) || (!lowerIsBetter && x > best) {
+				best = x
+				first = false
+			}
+		}
+		for s, v := range values {
+			var r float64
+			switch {
+			case lowerIsBetter && best > 0:
+				r = v[k] / best
+			case !lowerIsBetter && v[k] > 0:
+				r = best / v[k]
+			default:
+				r = 1
+			}
+			ratios[s] = append(ratios[s], r)
+		}
+	}
+	for s := range ratios {
+		sort.Float64s(ratios[s])
+	}
+	return ratios, nil
+}
+
+// FractionWithin returns the fraction of problems for which the scheme's
+// profile ratio is <= tau — the Y value of the Fig. 10 curve at X = tau.
+func FractionWithin(profile []float64, tau float64) float64 {
+	if len(profile) == 0 {
+		return 0
+	}
+	cnt := 0
+	for _, r := range profile {
+		if r <= tau {
+			cnt++
+		}
+	}
+	return float64(cnt) / float64(len(profile))
+}

@@ -1,0 +1,208 @@
+package quality
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/par"
+)
+
+// bruteForce classifies all pairs naively — the paper's Θ(n²) method — as
+// the oracle for the contingency-table implementation.
+func bruteForce(s, p []int32) PairCounts {
+	var pc PairCounts
+	for i := 0; i < len(s); i++ {
+		for j := i + 1; j < len(s); j++ {
+			sameS := s[i] == s[j]
+			sameP := p[i] == p[j]
+			switch {
+			case sameS && sameP:
+				pc.TP++
+			case !sameS && sameP:
+				pc.FP++
+			case sameS && !sameP:
+				pc.FN++
+			default:
+				pc.TN++
+			}
+		}
+	}
+	return pc
+}
+
+func TestIdenticalPartitionsScorePerfect(t *testing.T) {
+	s := []int32{0, 0, 1, 1, 2}
+	pc, err := ComparePartitions(s, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pc.Derive()
+	if m.Specificity != 1 || m.Sensitivity != 1 || m.OverlapQ != 1 || m.RandIndex != 1 {
+		t.Fatalf("identical partitions: %+v", m)
+	}
+}
+
+func TestDisjointLabelsStillPerfect(t *testing.T) {
+	// Same grouping under different label names must score 100%.
+	s := []int32{0, 0, 1, 1}
+	p := []int32{9, 9, 4, 4}
+	pc, _ := ComparePartitions(s, p)
+	if m := pc.Derive(); m.RandIndex != 1 || m.OverlapQ != 1 {
+		t.Fatalf("relabeled partition: %+v", m)
+	}
+}
+
+func TestKnownSmallExample(t *testing.T) {
+	// S: {0,1},{2,3}  P: {0,1,2},{3}
+	s := []int32{0, 0, 1, 1}
+	p := []int32{0, 0, 0, 1}
+	pc, _ := ComparePartitions(s, p)
+	// Pairs: (0,1): TP. (0,2),(1,2): FP. (2,3): FN. (0,3),(1,3): TN.
+	want := PairCounts{TP: 1, FP: 2, FN: 1, TN: 2}
+	if pc != want {
+		t.Fatalf("got %+v want %+v", pc, want)
+	}
+	m := pc.Derive()
+	if math.Abs(m.Specificity-1.0/3.0) > 1e-12 ||
+		math.Abs(m.Sensitivity-0.5) > 1e-12 ||
+		math.Abs(m.OverlapQ-0.25) > 1e-12 ||
+		math.Abs(m.RandIndex-0.5) > 1e-12 {
+		t.Fatalf("measures: %+v", m)
+	}
+}
+
+func TestLengthMismatchError(t *testing.T) {
+	if _, err := ComparePartitions([]int32{0}, []int32{0, 1}); err == nil {
+		t.Fatal("want error")
+	}
+}
+
+func TestEmptyAndSingletonPartitions(t *testing.T) {
+	pc, err := ComparePartitions(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := pc.Derive()
+	if m.RandIndex != 1 { // zero pairs → perfect by convention
+		t.Fatalf("empty: %+v", m)
+	}
+	pc, _ = ComparePartitions([]int32{5}, []int32{3})
+	if m := pc.Derive(); m.RandIndex != 1 {
+		t.Fatalf("singleton: %+v", m)
+	}
+}
+
+func TestContingencyMatchesBruteForceProperty(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		n := int(nRaw%60) + 2
+		rng := par.NewRNG(seed)
+		s := make([]int32, n)
+		p := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(5))
+			p[i] = int32(rng.Intn(4))
+		}
+		got, err := ComparePartitions(s, p)
+		if err != nil {
+			return false
+		}
+		want := bruteForce(s, p)
+		return got == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPairCountsSumInvariant(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := par.NewRNG(seed)
+		n := 10 + rng.Intn(100)
+		s := make([]int32, n)
+		p := make([]int32, n)
+		for i := range s {
+			s[i] = int32(rng.Intn(7))
+			p[i] = int32(rng.Intn(7))
+		}
+		pc, _ := ComparePartitions(s, p)
+		all := float64(n) * float64(n-1) / 2
+		return pc.TP+pc.FP+pc.FN+pc.TN == all &&
+			pc.TP >= 0 && pc.FP >= 0 && pc.FN >= 0 && pc.TN >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMeasuresString(t *testing.T) {
+	pc, _ := ComparePartitions([]int32{0, 0}, []int32{0, 0})
+	if pc.Derive().String() == "" {
+		t.Fatal("empty string")
+	}
+}
+
+func TestProfileRuntime(t *testing.T) {
+	// Runtimes (lower better): scheme A best on both, B 2x worse then equal.
+	values := map[string][]float64{
+		"A": {1, 4},
+		"B": {2, 4},
+	}
+	prof, err := Profile(values, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof["A"][0] != 1 || prof["A"][1] != 1 {
+		t.Fatalf("A profile %v", prof["A"])
+	}
+	if prof["B"][0] != 1 || prof["B"][1] != 2 {
+		t.Fatalf("B profile %v", prof["B"])
+	}
+	if f := FractionWithin(prof["B"], 1.0); f != 0.5 {
+		t.Fatalf("B within 1.0: %v", f)
+	}
+	if f := FractionWithin(prof["B"], 2.0); f != 1.0 {
+		t.Fatalf("B within 2.0: %v", f)
+	}
+}
+
+func TestProfileModularity(t *testing.T) {
+	// Modularity (higher better).
+	values := map[string][]float64{
+		"serial":   {0.8, 0.5},
+		"parallel": {0.9, 0.5},
+	}
+	prof, err := Profile(values, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof["parallel"][0] != 1 || prof["parallel"][1] != 1 {
+		t.Fatalf("parallel profile %v", prof["parallel"])
+	}
+	if math.Abs(prof["serial"][1]-0.9/0.8) > 1e-12 {
+		t.Fatalf("serial profile %v", prof["serial"])
+	}
+}
+
+func TestProfileErrorsAndEdgeCases(t *testing.T) {
+	if _, err := Profile(map[string][]float64{"a": {1}, "b": {1, 2}}, true); err == nil {
+		t.Fatal("want length mismatch error")
+	}
+	prof, err := Profile(map[string][]float64{}, true)
+	if err != nil || len(prof) != 0 {
+		t.Fatalf("empty profile: %v %v", prof, err)
+	}
+	if FractionWithin(nil, 2) != 0 {
+		t.Fatal("empty FractionWithin")
+	}
+}
+
+func TestProfileZeroValuesSafe(t *testing.T) {
+	prof, err := Profile(map[string][]float64{"a": {0}, "b": {0}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prof["a"][0] != 1 || prof["b"][0] != 1 {
+		t.Fatalf("zero-value ratios: %v", prof)
+	}
+}

@@ -1,0 +1,60 @@
+package seq
+
+import (
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+func BenchmarkSerialLouvainRGG(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, Options{})
+		if res.Modularity <= 0 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+func BenchmarkSerialLouvainSocial(b *testing.B) {
+	g := generate.MustGenerate(generate.LiveJournal, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := Run(g, Options{})
+		if res.Modularity <= 0 {
+			b.Fatal("bad run")
+		}
+	}
+}
+
+func BenchmarkModularityKernel(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	res := Run(g, Options{})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Modularity(g, res.Membership, 1)
+	}
+}
+
+func BenchmarkCoarsen(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
+	res := Run(g, Options{MaxPhases: 1})
+	membership := Renumber(res.Membership)
+	nc := int(maxOf(membership)) + 1
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = Coarsen(g, membership, nc)
+	}
+}
+
+func BenchmarkCPMSerial(b *testing.B) {
+	g := generate.MustGenerate(generate.CoPapers, generate.Medium, 0, 0)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := RunCPM(g, CPMOptions{Gamma: 0.3})
+		if res.NumCommunities == 0 {
+			b.Fatal("bad run")
+		}
+	}
+}

@@ -1,0 +1,136 @@
+package seq
+
+import (
+	"math"
+	"testing"
+
+	"grappolo/internal/graph"
+)
+
+// ringOfCliques builds k cliques of size s connected in a ring by single
+// edges — the canonical resolution-limit example: standard modularity
+// merges adjacent cliques once k exceeds ~√(2m), while CPM with a suitable
+// γ keeps every clique separate regardless of k.
+func ringOfCliques(k, s int) *graph.Graph {
+	b := graph.NewBuilder(k * s)
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 0; i < s; i++ {
+			for j := i + 1; j < s; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+		next := ((c + 1) % k) * s
+		b.AddEdge(int32(base), int32(next), 1)
+	}
+	return b.Build(2)
+}
+
+func TestCPMRecoverRingCliques(t *testing.T) {
+	const k, s = 30, 5
+	g := ringOfCliques(k, s)
+	res := RunCPM(g, CPMOptions{Gamma: 0.5})
+	if res.NumCommunities != k {
+		t.Fatalf("CPM found %d communities, want %d cliques", res.NumCommunities, k)
+	}
+	// Every clique must be exactly one community.
+	for c := 0; c < k; c++ {
+		base := c * s
+		for i := 1; i < s; i++ {
+			if res.Membership[base+i] != res.Membership[base] {
+				t.Fatalf("clique %d split", c)
+			}
+		}
+	}
+}
+
+func TestCPMAvoidsResolutionLimit(t *testing.T) {
+	// With 30 cliques of K5 (m = 330, √(2m) ≈ 25.7 < 30), standard
+	// modularity's resolution limit makes merging adjacent cliques
+	// profitable, so Louvain-with-modularity finds FEWER than 30
+	// communities; CPM at γ=0.5 finds exactly 30. This is the paper's
+	// future-work item (iv) demonstrated.
+	const k, s = 30, 5
+	g := ringOfCliques(k, s)
+	mod := Run(g, Options{})
+	cpm := RunCPM(g, CPMOptions{Gamma: 0.5})
+	if mod.NumCommunities >= k {
+		t.Fatalf("modularity found %d >= %d communities; resolution limit should merge cliques",
+			mod.NumCommunities, k)
+	}
+	if cpm.NumCommunities != k {
+		t.Fatalf("CPM found %d communities, want %d", cpm.NumCommunities, k)
+	}
+	t.Logf("modularity: %d communities; CPM(0.5): %d communities", mod.NumCommunities, cpm.NumCommunities)
+}
+
+func TestCPMGammaControlsGranularity(t *testing.T) {
+	g := ringOfCliques(12, 6)
+	coarse := RunCPM(g, CPMOptions{Gamma: 0.01}) // tiny penalty → huge communities
+	fine := RunCPM(g, CPMOptions{Gamma: 0.99})   // strict penalty → clique-level or finer
+	if coarse.NumCommunities > fine.NumCommunities {
+		t.Fatalf("γ=0.01 gave %d communities > γ=0.99's %d",
+			coarse.NumCommunities, fine.NumCommunities)
+	}
+}
+
+func TestCPMScoreConsistency(t *testing.T) {
+	g := ringOfCliques(8, 4)
+	res := RunCPM(g, CPMOptions{Gamma: 0.5})
+	direct := CPMScore(g, res.Membership, 0.5)
+	if math.Abs(direct-res.Score) > 1e-9 {
+		t.Fatalf("reported %v, recomputed %v", res.Score, direct)
+	}
+}
+
+func TestCPMScoreKnownValue(t *testing.T) {
+	// Single K4, one community: w_in = 6, penalty = γ·6, m = 6.
+	b := graph.NewBuilder(4)
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			b.AddEdge(int32(i), int32(j), 1)
+		}
+	}
+	g := b.Build(1)
+	score := CPMScore(g, []int32{0, 0, 0, 0}, 0.5)
+	want := (6.0 - 0.5*6.0) / 6.0
+	if math.Abs(score-want) > 1e-12 {
+		t.Fatalf("score %v want %v", score, want)
+	}
+	// Singletons: w_in = 0, penalty 0 → score 0.
+	if s := CPMScore(g, []int32{0, 1, 2, 3}, 0.5); s != 0 {
+		t.Fatalf("singleton score %v", s)
+	}
+}
+
+func TestCPMEdgeCasesAndPanics(t *testing.T) {
+	empty := graph.NewBuilder(0).Build(1)
+	if res := RunCPM(empty, CPMOptions{Gamma: 1}); res.NumCommunities != 0 {
+		t.Fatalf("empty: %+v", res)
+	}
+	edgeless := graph.NewBuilder(3).Build(1)
+	res := RunCPM(edgeless, CPMOptions{Gamma: 1})
+	if res.NumCommunities != 3 {
+		t.Fatalf("edgeless: %+v", res)
+	}
+	assertPanic(t, func() { RunCPM(edgeless, CPMOptions{}) })
+	assertPanic(t, func() { CPMScoreSized(edgeless, []int32{0}, []int64{1}, 1) })
+}
+
+func assertPanic(t *testing.T, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	f()
+}
+
+func TestCPMMaxLimits(t *testing.T) {
+	g := ringOfCliques(6, 4)
+	res := RunCPM(g, CPMOptions{Gamma: 0.5, MaxIterations: 1, MaxPhases: 1})
+	if res.Phases != 1 || res.TotalIterations > 1 {
+		t.Fatalf("limits ignored: %+v", res)
+	}
+}

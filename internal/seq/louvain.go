@@ -1,0 +1,331 @@
+// Package seq implements the serial Louvain method (Blondel et al. 2008)
+// exactly as the paper describes it in §3: a multi-phase, iterative greedy
+// heuristic where each iteration linearly scans vertices in a fixed order,
+// moves each vertex to the neighboring community of maximum modularity gain
+// (Eq. 4/5), and each phase ends by coarsening communities into
+// meta-vertices. It is the reference implementation the paper's Table 2 and
+// Figs. 3–7 compare against ("serial Louvain [10]").
+package seq
+
+import (
+	"fmt"
+	"sort"
+
+	"grappolo/internal/graph"
+)
+
+// Options control the serial Louvain run.
+type Options struct {
+	// Threshold is the minimum net modularity gain required to start another
+	// iteration within a phase (and another phase overall). The paper's
+	// default for uncolored processing is 1e-6 (§6.1).
+	Threshold float64
+	// MaxIterations caps iterations per phase (0 = unlimited).
+	MaxIterations int
+	// MaxPhases caps the number of phases (0 = unlimited).
+	MaxPhases int
+	// Resolution is the γ multiplier on the null-model term (1 = standard
+	// modularity as used throughout the paper; exposed for the resolution-
+	// limit extension the paper lists as future work (iv)).
+	Resolution float64
+	// Order optionally overrides the vertex scan order of the first
+	// phase's iterations (nil = natural order 0..n-1). The paper notes
+	// (§3, §6.2.2) that the serial heuristic scans vertices in "an
+	// arbitrary but predefined order" and that ordering visibly affects
+	// convergence on uniform-degree inputs like Channel; this knob lets
+	// experiments quantify that. Must be a permutation of [0, n).
+	Order []int32
+}
+
+// Defaults fills unset fields with the paper's defaults.
+func (o Options) withDefaults() Options {
+	if o.Threshold <= 0 {
+		o.Threshold = 1e-6
+	}
+	if o.Resolution <= 0 {
+		o.Resolution = 1
+	}
+	return o
+}
+
+// PhaseTrace records one phase's outcome for the convergence plots
+// (modularity-vs-iteration curves of Figs. 3–6).
+type PhaseTrace struct {
+	Iterations  int
+	Modularity  []float64 // modularity after each iteration of this phase
+	VertexCount int       // size of the phase's input graph
+}
+
+// Result is the output of a Louvain run.
+type Result struct {
+	// Membership assigns every original vertex a dense community id.
+	Membership []int32
+	// NumCommunities is the number of distinct ids in Membership.
+	NumCommunities int
+	// Modularity of the final partitioning on the original graph.
+	Modularity float64
+	// Phases traces per-phase convergence.
+	Phases []PhaseTrace
+	// TotalIterations across all phases (the paper reports these in
+	// Tables 4–5).
+	TotalIterations int
+}
+
+// Run executes the serial Louvain method on g.
+func Run(g *graph.Graph, opts Options) *Result {
+	opts = opts.withDefaults()
+	res := &Result{Membership: make([]int32, g.N())}
+	for i := range res.Membership {
+		res.Membership[i] = int32(i)
+	}
+	work := g
+	prevQ := -1.0
+	for phase := 0; opts.MaxPhases == 0 || phase < opts.MaxPhases; phase++ {
+		phaseOpts := opts
+		if phase > 0 {
+			phaseOpts.Order = nil // custom order applies to the input graph only
+		}
+		membership, trace, q := louvainPhase(work, phaseOpts)
+		res.Phases = append(res.Phases, trace)
+		res.TotalIterations += trace.Iterations
+		// Fold this phase's assignment into the original-vertex membership.
+		for v := range res.Membership {
+			res.Membership[v] = membership[res.Membership[v]]
+		}
+		res.Modularity = q
+		if q-prevQ < opts.Threshold {
+			break
+		}
+		prevQ = q
+		nc := maxOf(membership) + 1
+		if nc == int32(work.N()) {
+			break // no merges happened; coarsening would loop forever
+		}
+		work = Coarsen(work, membership, int(nc))
+	}
+	res.NumCommunities = int(maxOf(res.Membership)) + 1
+	return res
+}
+
+func maxOf(v []int32) int32 {
+	m := int32(-1)
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// louvainPhase runs local-move iterations on g until the per-iteration gain
+// drops below the threshold. It returns the dense community assignment, the
+// phase trace, and the final modularity of g under that assignment.
+func louvainPhase(g *graph.Graph, opts Options) ([]int32, PhaseTrace, float64) {
+	n := g.N()
+	m := g.M()
+	comm := make([]int32, n)
+	a := make([]float64, n) // community degrees a_C
+	for i := 0; i < n; i++ {
+		comm[i] = int32(i)
+		a[i] = g.Degree(i)
+	}
+	trace := PhaseTrace{VertexCount: n}
+	prevQ := Modularity(g, comm, opts.Resolution)
+	// neighComm scratch: community id -> aggregated edge weight e_{i→C}.
+	type cw struct {
+		c int32
+		w float64
+	}
+	var ncs []cw
+	idx := make(map[int32]int, 64)
+
+	order := opts.Order
+	if order != nil && len(order) != n {
+		panic(fmt.Sprintf("seq: order length %d != n %d", len(order), n))
+	}
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		for scan := 0; scan < n; scan++ {
+			i := scan
+			if order != nil {
+				i = int(order[scan])
+			}
+			ci := comm[i]
+			ki := g.Degree(i)
+			nbr, wts := g.Neighbors(i)
+			ncs = ncs[:0]
+			clear(idx)
+			// Ensure the current community is present even if i has no
+			// neighbor inside it (e_{i→C(i)\{i}} may be 0).
+			idx[ci] = 0
+			ncs = append(ncs, cw{c: ci})
+			for t, j := range nbr {
+				if int(j) == i {
+					continue // self-loop stays with i regardless of move
+				}
+				cj := comm[j]
+				if k, ok := idx[cj]; ok {
+					ncs[k].w += wts[t]
+				} else {
+					idx[cj] = len(ncs)
+					ncs = append(ncs, cw{c: cj, w: wts[t]})
+				}
+			}
+			eOwn := ncs[0].w // e_{i→C(i)\{i}}
+			aOwn := a[ci] - ki
+			best := ci
+			bestGain := 0.0
+			for _, t := range ncs[1:] {
+				// Eq. (4): ΔQ_{i→C(t)} = (e_{i→Ct} − e_{i→Ci\{i}})/m
+				//   + γ·(2·k_i·a_{Ci\{i}} − 2·k_i·a_{Ct}) / (2m)²
+				gain := (t.w-eOwn)/m +
+					opts.Resolution*(2*ki*aOwn-2*ki*a[t.c])/(4*m*m)
+				if gain > bestGain {
+					bestGain = gain
+					best = t.c
+				}
+			}
+			if best != ci && bestGain > 0 {
+				a[ci] -= ki
+				a[best] += ki
+				comm[i] = best
+			}
+		}
+		q := Modularity(g, comm, opts.Resolution)
+		trace.Iterations++
+		trace.Modularity = append(trace.Modularity, q)
+		if q-prevQ < opts.Threshold {
+			prevQ = q
+			break
+		}
+		prevQ = q
+	}
+	dense := Renumber(comm)
+	return dense, trace, prevQ
+}
+
+// Renumber maps arbitrary community ids to dense ids [0, k) preserving
+// first-appearance order, in place over a copy.
+func Renumber(comm []int32) []int32 {
+	dense := make([]int32, len(comm))
+	next := int32(0)
+	remap := make(map[int32]int32, 256)
+	for i, c := range comm {
+		d, ok := remap[c]
+		if !ok {
+			d = next
+			remap[c] = d
+			next++
+		}
+		dense[i] = d
+	}
+	return dense
+}
+
+// Modularity computes Eq. (3) for the given community assignment:
+// Q = (1/2m)·Σ_i e_{i→C(i)} − γ·Σ_C (a_C/2m)².
+// Self-loops contribute once, matching the graph package's degree
+// convention, so Q is phase-invariant under Coarsen.
+func Modularity(g *graph.Graph, comm []int32, gamma float64) float64 {
+	if gamma <= 0 {
+		gamma = 1
+	}
+	n := g.N()
+	if n == 0 {
+		return 0
+	}
+	m2 := g.TotalWeight() // 2m
+	if m2 == 0 {
+		return 0
+	}
+	var within float64
+	a := make([]float64, n)
+	for i := 0; i < n; i++ {
+		nbr, wts := g.Neighbors(i)
+		ci := comm[i]
+		a[ci] += g.Degree(i)
+		for t, j := range nbr {
+			if comm[j] == ci {
+				within += wts[t]
+			}
+		}
+	}
+	var null float64
+	for _, ac := range a {
+		frac := ac / m2
+		null += frac * frac
+	}
+	return within/m2 - gamma*null
+}
+
+// Coarsen builds the next phase's graph: one meta-vertex per community,
+// a self-loop aggregating intra-community weight (counted with the paper's
+// convention: 2×w per internal non-loop edge plus member self-loops), and
+// inter-community edges aggregating cross weights. membership must be dense
+// in [0, numComm).
+func Coarsen(g *graph.Graph, membership []int32, numComm int) *graph.Graph {
+	n := g.N()
+	if len(membership) != n {
+		panic(fmt.Sprintf("seq: membership length %d != n %d", len(membership), n))
+	}
+	rows := make([]map[int32]float64, numComm)
+	for c := range rows {
+		rows[c] = make(map[int32]float64, 4)
+	}
+	for u := 0; u < n; u++ {
+		cu := membership[u]
+		nbr, wts := g.Neighbors(u)
+		for t, v := range nbr {
+			cv := membership[v]
+			rows[cu][cv] += wts[t]
+			// Internal non-loop edges appear in both rows → 2w total at
+			// rows[cu][cu]; self-loops appear once → w. Inter edges appear
+			// once from each side → symmetric w. Exactly the convention.
+		}
+	}
+	var offsets []int64
+	var adj []int32
+	var weights []float64
+	offsets = make([]int64, numComm+1)
+	for c := 0; c < numComm; c++ {
+		offsets[c+1] = offsets[c] + int64(len(rows[c]))
+	}
+	adj = make([]int32, offsets[numComm])
+	weights = make([]float64, offsets[numComm])
+	for c := 0; c < numComm; c++ {
+		pos := offsets[c]
+		// Deterministic row order: ascending neighbor id.
+		keys := make([]int32, 0, len(rows[c]))
+		for k := range rows[c] {
+			keys = append(keys, k)
+		}
+		sortInt32(keys)
+		for _, k := range keys {
+			adj[pos] = k
+			weights[pos] = rows[c][k]
+			pos++
+		}
+	}
+	cg, err := graph.FromCSR(offsets, adj, weights, 1, false)
+	if err != nil {
+		panic(err) // unreachable: check=false never errors
+	}
+	return cg
+}
+
+func sortInt32(v []int32) {
+	// Insertion sort for the typically tiny coarsened rows; stdlib sort for
+	// the occasional large hub row.
+	if len(v) <= 24 {
+		for i := 1; i < len(v); i++ {
+			x := v[i]
+			j := i - 1
+			for j >= 0 && v[j] > x {
+				v[j+1] = v[j]
+				j--
+			}
+			v[j+1] = x
+		}
+		return
+	}
+	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
+}

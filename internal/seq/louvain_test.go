@@ -1,0 +1,319 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// twoCliques builds two K5s joined by a single bridge edge — the canonical
+// two-community graph.
+func twoCliques() *graph.Graph {
+	b := graph.NewBuilder(10)
+	for base := 0; base <= 5; base += 5 {
+		for i := 0; i < 5; i++ {
+			for j := i + 1; j < 5; j++ {
+				b.AddEdge(int32(base+i), int32(base+j), 1)
+			}
+		}
+	}
+	b.AddEdge(0, 5, 1)
+	return b.Build(2)
+}
+
+func TestModularityAllSingletons(t *testing.T) {
+	g := twoCliques()
+	comm := make([]int32, g.N())
+	for i := range comm {
+		comm[i] = int32(i)
+	}
+	q := Modularity(g, comm, 1)
+	// All singletons: within = 0 (no self loops), so Q = -Σ(k_i/2m)² < 0.
+	if q >= 0 {
+		t.Fatalf("singleton modularity %v, want negative", q)
+	}
+}
+
+func TestModularityPerfectSplit(t *testing.T) {
+	g := twoCliques()
+	comm := make([]int32, 10)
+	for i := 5; i < 10; i++ {
+		comm[i] = 1
+	}
+	q := Modularity(g, comm, 1)
+	// 21 edges, 20 intra + 1 bridge. within = 40, 2m = 42.
+	// a_0 = a_1 = 21. Q = 40/42 - 2*(21/42)² = 0.95238 - 0.5 = 0.45238...
+	want := 40.0/42.0 - 2*0.25
+	if math.Abs(q-want) > 1e-12 {
+		t.Fatalf("Q=%v want %v", q, want)
+	}
+}
+
+func TestModularityOneCommunityIsZero(t *testing.T) {
+	g := twoCliques()
+	comm := make([]int32, 10) // all zero
+	q := Modularity(g, comm, 1)
+	// Everything intra: within = 2m, single a_C = 2m → Q = 1 - 1 = 0.
+	if math.Abs(q) > 1e-12 {
+		t.Fatalf("Q=%v want 0", q)
+	}
+}
+
+func TestModularitySelfLoopConvention(t *testing.T) {
+	// Single vertex with one self-loop of weight 3: within = 3, 2m = 3,
+	// a = 3 → Q = 1 - 1 = 0.
+	b := graph.NewBuilder(1)
+	b.AddEdge(0, 0, 3)
+	g := b.Build(1)
+	if q := Modularity(g, []int32{0}, 1); math.Abs(q) > 1e-12 {
+		t.Fatalf("Q=%v want 0", q)
+	}
+}
+
+func TestModularityEmptyAndZeroWeight(t *testing.T) {
+	if q := Modularity(graph.NewBuilder(0).Build(1), nil, 1); q != 0 {
+		t.Fatalf("empty graph Q=%v", q)
+	}
+	g := graph.NewBuilder(3).Build(1) // vertices, no edges
+	if q := Modularity(g, []int32{0, 1, 2}, 1); q != 0 {
+		t.Fatalf("edgeless graph Q=%v", q)
+	}
+}
+
+func TestRunRecoversTwoCliques(t *testing.T) {
+	g := twoCliques()
+	res := Run(g, Options{})
+	if res.NumCommunities != 2 {
+		t.Fatalf("found %d communities, want 2", res.NumCommunities)
+	}
+	for i := 1; i < 5; i++ {
+		if res.Membership[i] != res.Membership[0] {
+			t.Fatalf("clique 1 split: %v", res.Membership)
+		}
+	}
+	for i := 6; i < 10; i++ {
+		if res.Membership[i] != res.Membership[5] {
+			t.Fatalf("clique 2 split: %v", res.Membership)
+		}
+	}
+	if res.Membership[0] == res.Membership[5] {
+		t.Fatal("cliques merged")
+	}
+	want := 40.0/42.0 - 0.5
+	if math.Abs(res.Modularity-want) > 1e-9 {
+		t.Fatalf("Q=%v want %v", res.Modularity, want)
+	}
+}
+
+func TestRunModularityMonotoneWithinPhase(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	res := Run(g, Options{})
+	for pi, ph := range res.Phases {
+		for k := 1; k < len(ph.Modularity); k++ {
+			if ph.Modularity[k] < ph.Modularity[k-1]-1e-12 {
+				t.Fatalf("phase %d: modularity decreased at iteration %d: %v -> %v",
+					pi, k, ph.Modularity[k-1], ph.Modularity[k])
+			}
+		}
+	}
+}
+
+func TestRunFinalModularityMatchesMembership(t *testing.T) {
+	// The reported modularity must equal the recomputed modularity of the
+	// final membership on the ORIGINAL graph (phase invariance).
+	for _, in := range []generate.Input{generate.CNR, generate.MG1, generate.RGG} {
+		g := generate.MustGenerate(in, generate.Small, 0, 2)
+		res := Run(g, Options{})
+		q := Modularity(g, res.Membership, 1)
+		if math.Abs(q-res.Modularity) > 1e-9 {
+			t.Fatalf("%s: reported Q=%v but membership scores %v", in, res.Modularity, q)
+		}
+	}
+}
+
+func TestRunRespectsMaxLimits(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	res := Run(g, Options{MaxIterations: 1, MaxPhases: 1})
+	if len(res.Phases) != 1 || res.Phases[0].Iterations > 1 {
+		t.Fatalf("limits ignored: %d phases, %d iters", len(res.Phases), res.Phases[0].Iterations)
+	}
+}
+
+func TestRunSBMRecoversPlantedCommunities(t *testing.T) {
+	sizes := []int{60, 60, 60, 60}
+	g, truth := generate.SBM(generate.SBMConfig{Communities: sizes, IntraDegree: 14, CrossFrac: 0.05}, 1, 2)
+	res := Run(g, Options{})
+	// Strong planted structure: Louvain should land close to the truth.
+	agree := 0
+	total := 0
+	for i := 0; i < g.N(); i++ {
+		for j := i + 1; j < g.N(); j++ {
+			sameT := truth[i] == truth[j]
+			sameL := res.Membership[i] == res.Membership[j]
+			if sameT == sameL {
+				agree++
+			}
+			total++
+		}
+	}
+	if frac := float64(agree) / float64(total); frac < 0.9 {
+		t.Fatalf("only %.2f pair agreement with planted truth", frac)
+	}
+	if res.Modularity < 0.5 {
+		t.Fatalf("Q=%v too low for a strong SBM", res.Modularity)
+	}
+}
+
+func TestHigherThresholdFewerIterations(t *testing.T) {
+	g := generate.MustGenerate(generate.Channel, generate.Small, 0, 2)
+	fine := Run(g, Options{Threshold: 1e-6})
+	coarse := Run(g, Options{Threshold: 1e-2})
+	if coarse.TotalIterations > fine.TotalIterations {
+		t.Fatalf("coarse threshold took more iterations (%d) than fine (%d)",
+			coarse.TotalIterations, fine.TotalIterations)
+	}
+}
+
+func TestResolutionParameterShiftsGranularity(t *testing.T) {
+	g := generate.MustGenerate(generate.CoPapers, generate.Small, 0, 2)
+	lowRes := Run(g, Options{Resolution: 0.25})
+	highRes := Run(g, Options{Resolution: 4})
+	// Higher γ penalizes large communities → at least as many communities.
+	if highRes.NumCommunities < lowRes.NumCommunities {
+		t.Fatalf("γ=4 gave %d communities < γ=0.25's %d",
+			highRes.NumCommunities, lowRes.NumCommunities)
+	}
+}
+
+func TestCoarsenPreservesTotalWeightAndModularity(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 2)
+	res := Run(g, Options{MaxPhases: 1})
+	membership := Renumber(res.Membership)
+	nc := int(maxOf(membership)) + 1
+	cg := Coarsen(g, membership, nc)
+	if err := cg.Validate(); err != nil {
+		t.Fatalf("coarsened graph invalid: %v", err)
+	}
+	if math.Abs(cg.TotalWeight()-g.TotalWeight()) > 1e-6 {
+		t.Fatalf("total weight changed: %v -> %v", g.TotalWeight(), cg.TotalWeight())
+	}
+	// Identity partition on cg must score the same modularity as membership
+	// on g (the meta-vertex self-loop convention guarantees this).
+	ident := make([]int32, cg.N())
+	for i := range ident {
+		ident[i] = int32(i)
+	}
+	q1 := Modularity(g, membership, 1)
+	q2 := Modularity(cg, ident, 1)
+	if math.Abs(q1-q2) > 1e-9 {
+		t.Fatalf("coarsening broke modularity invariance: %v vs %v", q1, q2)
+	}
+}
+
+func TestCoarsenTwoCliquesShape(t *testing.T) {
+	g := twoCliques()
+	membership := make([]int32, 10)
+	for i := 5; i < 10; i++ {
+		membership[i] = 1
+	}
+	cg := Coarsen(g, membership, 2)
+	if cg.N() != 2 {
+		t.Fatalf("n=%d", cg.N())
+	}
+	// Each K5 has 10 intra edges → self-loop weight 20 (2w convention).
+	if w := cg.SelfLoopWeight(0); w != 20 {
+		t.Fatalf("self-loop 0 = %v want 20", w)
+	}
+	if w, ok := cg.EdgeWeight(0, 1); !ok || w != 1 {
+		t.Fatalf("bridge weight %v want 1", w)
+	}
+}
+
+func TestCoarsenPanicsOnBadMembership(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("want panic")
+		}
+	}()
+	Coarsen(twoCliques(), []int32{0}, 1)
+}
+
+func TestRenumber(t *testing.T) {
+	in := []int32{7, 7, 3, 7, 9, 3}
+	out := Renumber(in)
+	want := []int32{0, 0, 1, 0, 2, 1}
+	for i := range want {
+		if out[i] != want[i] {
+			t.Fatalf("got %v want %v", out, want)
+		}
+	}
+	if in[0] != 7 {
+		t.Fatal("input mutated")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	g := generate.MustGenerate(generate.LiveJournal, generate.Small, 0, 2)
+	a := Run(g, Options{})
+	b := Run(g, Options{})
+	if a.Modularity != b.Modularity || a.NumCommunities != b.NumCommunities {
+		t.Fatal("serial Louvain must be deterministic")
+	}
+	for i := range a.Membership {
+		if a.Membership[i] != b.Membership[i] {
+			t.Fatalf("membership differs at %d", i)
+		}
+	}
+}
+
+func TestSortInt32(t *testing.T) {
+	f := func(raw []int32) bool {
+		v := append([]int32(nil), raw...)
+		sortInt32(v)
+		for i := 1; i < len(v); i++ {
+			if v[i-1] > v[i] {
+				return false
+			}
+		}
+		return len(v) == len(raw)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	// Exercise the quicksort path explicitly.
+	rng := par.NewRNG(3)
+	big := make([]int32, 500)
+	for i := range big {
+		big[i] = int32(rng.Intn(100))
+	}
+	sortInt32(big)
+	for i := 1; i < len(big); i++ {
+		if big[i-1] > big[i] {
+			t.Fatal("quicksort path failed")
+		}
+	}
+}
+
+func TestVertexFollowingLemma3Property(t *testing.T) {
+	// Lemma 3: a single-degree vertex always ends in its neighbor's
+	// community. Verify on road networks, the input class with many
+	// single-degree vertices.
+	g := generate.MustGenerate(generate.EuropeOSM, generate.Small, 0, 2)
+	res := Run(g, Options{})
+	violations := 0
+	for i := 0; i < g.N(); i++ {
+		nbr, _ := g.Neighbors(i)
+		if len(nbr) == 1 && int(nbr[0]) != i {
+			if res.Membership[i] != res.Membership[nbr[0]] {
+				violations++
+			}
+		}
+	}
+	if violations > 0 {
+		t.Fatalf("%d single-degree vertices ended apart from their neighbor", violations)
+	}
+}

@@ -26,16 +26,7 @@ import (
 	"grappolo/internal/harness"
 )
 
-func benchScale() generate.Scale {
-	switch os.Getenv("GRAPPOLO_BENCH_SCALE") {
-	case "small":
-		return generate.Small
-	case "large":
-		return generate.Large
-	default:
-		return generate.Medium
-	}
-}
+func benchScale() generate.Scale { return generate.ScaleFromEnv() }
 
 func benchOpts() harness.Options {
 	return harness.Options{

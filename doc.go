@@ -15,7 +15,25 @@
 //   - internal/quality   — partition-comparison measures and performance
 //     profiles
 //   - internal/harness   — the experiment runner behind every table/figure
-//   - internal/par       — goroutine worker pools, prefix sums, atomics
+//   - internal/par       — goroutine worker pools, prefix sums, atomics,
+//     and the flat sparse accumulator backing every hot loop
+//
+// # Flat-accumulator hot path
+//
+// The paper identifies the per-vertex neighbor-community map and the graph
+// rebuild as the dominant phase costs (§5.5, Figs. 8–9). Everywhere the
+// original code (and this reproduction's first port) used a hash map on the
+// hot path — decide in internal/core, row aggregation in the rebuild, and
+// the serial baselines in internal/seq — the engine now uses
+// par.SparseAccum: a flat value array indexed directly by community id, a
+// dense list of touched keys in first-touch order, and a generation stamp
+// per slot so Reset is O(1) and no clearing ever touches untouched slots.
+// Accumulators are pooled per worker (par.ForChunkWorker/ForChunkPrefix
+// expose the worker index) and reused across sweeps, making the
+// steady-state decide loop allocation-free; sweep chunks are balanced by
+// arc count over the CSR offsets rather than vertex count, so hub-heavy
+// skewed inputs cannot serialize a sweep. First-touch key order equals the
+// old map-insertion order, keeping all deterministic paths bit-identical.
 //
 // Executables: cmd/grappolo (CLI), cmd/graphgen (input generator),
 // cmd/benchtables (regenerates every table and figure of the paper).

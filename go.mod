@@ -1,0 +1,3 @@
+module grappolo
+
+go 1.24

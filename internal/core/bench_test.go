@@ -7,6 +7,51 @@ import (
 	"grappolo/internal/generate"
 )
 
+// BenchmarkDecideSweep measures the flat-accumulator decide hot loop in
+// isolation: one full uncolored sweep per op (every vertex runs decide
+// against the previous iteration's snapshot). This is the kernel the paper's
+// Fig. 8 attributes most of the clustering time to.
+func BenchmarkDecideSweep(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.ScaleFromEnv(), 0, 0)
+	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 0)
+	b.ReportMetric(float64(g.N()), "vertices")
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.sweepUncolored(0)
+	}
+}
+
+// BenchmarkRebuild measures the coarsening step (§5.5, Fig. 9) with the
+// accumulator + arena + prefix-sum CSR stitching implementation.
+func BenchmarkRebuild(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.ScaleFromEnv(), 0, 0)
+	res := Run(g, Options{MaxPhases: 1, Workers: 0}.Defaults())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = rebuild(g, res.Membership, res.NumCommunities, 0)
+	}
+}
+
+// TestDecideSteadyStateZeroAllocs pins the flat-accumulator invariant the
+// refactor exists for: once a phase's scratch pool is allocated, running
+// decide over every vertex allocates nothing.
+func TestDecideSteadyStateZeroAllocs(t *testing.T) {
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
+	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 1)
+	copy(st.prev, st.curr)
+	st.refreshAggregates(st.prev, 1)
+	acc := st.scratch[0]
+	n := g.N()
+	allocs := testing.AllocsPerRun(20, func() {
+		for i := 0; i < n; i++ {
+			st.curr[i] = st.decide(i, st.prev, acc, false, false)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("steady-state decide loop allocates: %v allocs per sweep over %d vertices, want 0", allocs, n)
+	}
+}
+
 func BenchmarkSweepUncolored(b *testing.B) {
 	g := generate.MustGenerate(generate.RGG, generate.Medium, 0, 0)
 	st := newPhaseState(g, Options{Resolution: 1}.Defaults(), nil, 0)

@@ -20,6 +20,16 @@ type phaseState struct {
 	cpmGamma float64
 	nodeSize []int64 // original-vertex count per (meta-)vertex (CPM only)
 	commNS   []int64 // Σ nodeSize per community (CPM only)
+	// scratch holds one neighbor-community accumulator per worker, allocated
+	// once per phase and reused across every sweep and iteration so the
+	// decide loop is allocation-free in steady state (§5.5: the per-vertex
+	// map was the dominant clustering cost).
+	scratch []*par.SparseAccum
+	// colorPrefix caches, per color set, the arc prefix sum that drives
+	// arc-balanced chunking in colored sweeps. Sets and OutDegree are
+	// immutable for the whole phase, so it is built once on the first
+	// colored sweep and reused by every later iteration.
+	colorPrefix [][]int64
 }
 
 func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) *phaseState {
@@ -39,6 +49,12 @@ func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) 
 	if st.obj == ObjCPM {
 		st.nodeSize = nodeSize
 		st.commNS = make([]int64, n)
+	}
+	// One accumulator per effective worker: community ids live in [0, n),
+	// and a vertex can touch at most OutDegree+1 distinct communities.
+	st.scratch = make([]*par.SparseAccum, par.Workers(workers, n))
+	for w := range st.scratch {
+		st.scratch[w] = par.NewSparseAccum(n, g.MaxOutDegree()+1)
 	}
 	par.ForChunk(n, workers, 0, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
@@ -79,19 +95,6 @@ func (st *phaseState) refreshAggregates(from []int32, workers int) {
 	})
 }
 
-// scratch is the per-worker neighbor-community accumulator: the Go analog
-// of the paper's per-vertex STL map (§5.5), reused across vertices to stay
-// allocation-free in the hot loop.
-type scratch struct {
-	comms []int32   // distinct neighboring communities, first = own
-	wts   []float64 // e_{i→C} per community
-	idx   map[int32]int
-}
-
-func newScratch() *scratch {
-	return &scratch{idx: make(map[int32]int, 64)}
-}
-
 // decide computes vertex i's new community per Eqs. (4)–(5) with the
 // minimum-label heuristics of §5.1. membership is the array decisions read
 // (prev for uncolored sweeps, curr for colored/async ones); atomicAgg
@@ -99,7 +102,14 @@ func newScratch() *scratch {
 // sweeps mutate them concurrently); atomicComm additionally reads the
 // membership itself atomically (async mode, where adjacent vertices move
 // concurrently).
-func (st *phaseState) decide(i int, membership []int32, sc *scratch, atomicAgg, atomicComm bool) int32 {
+//
+// Neighbor-community weights e_{i→C} aggregate in acc, the flat
+// generation-stamped accumulator that replaced the paper's per-vertex STL
+// map (§5.5): one array write per arc, O(1) reset, zero allocations in
+// steady state. The accumulator's first-touch key order equals the old
+// map-insertion order, so decisions — including the first-wins/min-label
+// tie-breaks — are bit-identical to the map-based implementation.
+func (st *phaseState) decide(i int, membership []int32, acc *par.SparseAccum, atomicAgg, atomicComm bool) int32 {
 	g := st.g
 	readComm := func(v int32) int32 {
 		if atomicComm {
@@ -111,24 +121,15 @@ func (st *phaseState) decide(i int, membership []int32, sc *scratch, atomicAgg, 
 	ki := g.Degree(i)
 	nbr, wts := g.Neighbors(i)
 
-	sc.comms = sc.comms[:0]
-	sc.wts = sc.wts[:0]
-	clear(sc.idx)
-	sc.idx[ci] = 0
-	sc.comms = append(sc.comms, ci)
-	sc.wts = append(sc.wts, 0)
+	acc.Reset()
+	// Pin the own community at keys[0] even when no neighbor shares it
+	// (e_{i→C(i)\{i}} may be 0).
+	acc.Ensure(ci)
 	for t, j := range nbr {
 		if int(j) == i {
 			continue // self-loop stays with i under any move
 		}
-		cj := readComm(j)
-		if k, ok := sc.idx[cj]; ok {
-			sc.wts[k] += wts[t]
-		} else {
-			sc.idx[cj] = len(sc.comms)
-			sc.comms = append(sc.comms, cj)
-			sc.wts = append(sc.wts, wts[t])
-		}
+		acc.Add(readComm(j), wts[t])
 	}
 
 	loadDeg := func(c int32) float64 {
@@ -143,17 +144,17 @@ func (st *phaseState) decide(i int, membership []int32, sc *scratch, atomicAgg, 
 		}
 		return st.commNS[c]
 	}
-	eOwn := sc.wts[0] // e_{i→C(i)\{i}}
+	comms := acc.Keys() // first-touch order, comms[0] == ci
+	eOwn := acc.Get(ci) // e_{i→C(i)\{i}}
 	m := st.m
 	best := ci
 	bestGain := 0.0
 	if st.obj == ObjCPM {
 		si := st.nodeSize[i]
 		nsOwnLess := loadNS(ci) - si
-		for t := 1; t < len(sc.comms); t++ {
-			ct := sc.comms[t]
+		for _, ct := range comms[1:] {
 			// CPM gain: ΔH/m with the size-based penalty (future work iv).
-			gain := (sc.wts[t] - eOwn - st.cpmGamma*float64(si)*float64(loadNS(ct)-nsOwnLess)) / m
+			gain := (acc.Get(ct) - eOwn - st.cpmGamma*float64(si)*float64(loadNS(ct)-nsOwnLess)) / m
 			switch {
 			case gain > bestGain:
 				bestGain, best = gain, ct
@@ -163,10 +164,9 @@ func (st *phaseState) decide(i int, membership []int32, sc *scratch, atomicAgg, 
 		}
 	} else {
 		aOwn := loadDeg(ci) - ki
-		for t := 1; t < len(sc.comms); t++ {
-			ct := sc.comms[t]
+		for _, ct := range comms[1:] {
 			// Eq. (4).
-			gain := (sc.wts[t]-eOwn)/m + st.gamma*(2*ki*aOwn-2*ki*loadDeg(ct))/(4*m*m)
+			gain := (acc.Get(ct)-eOwn)/m + st.gamma*(2*ki*aOwn-2*ki*loadDeg(ct))/(4*m*m)
 			switch {
 			case gain > bestGain:
 				bestGain, best = gain, ct
@@ -214,15 +214,16 @@ func (st *phaseState) applyMove(i int, old, next int32) {
 
 // sweepUncolored performs one full parallel iteration without coloring:
 // every vertex decides from the previous iteration's snapshot (no locks,
-// deterministic for a fixed input regardless of worker count).
+// deterministic for a fixed input regardless of worker count). Chunks are
+// arc-balanced over the CSR offsets so a few hub vertices cannot serialize
+// the sweep on skewed inputs, and each worker reuses its pooled accumulator.
 func (st *phaseState) sweepUncolored(workers int) {
-	n := st.g.N()
 	copy(st.prev, st.curr)
 	st.refreshAggregates(st.prev, workers)
-	par.ForChunk(n, workers, 512, func(lo, hi int) {
-		sc := newScratch()
+	par.ForChunkPrefix(st.g.ArcOffsets(), workers, func(w, lo, hi int) {
+		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
-			st.curr[i] = st.decide(i, st.prev, sc, false, false)
+			st.curr[i] = st.decide(i, st.prev, acc, false, false)
 		}
 	})
 }
@@ -230,16 +231,35 @@ func (st *phaseState) sweepUncolored(workers int) {
 // sweepColored performs one full iteration over color sets: sets are
 // processed in order; inside a set vertices decide in parallel reading the
 // LIVE community state (earlier sets' moves are visible, §5.4 step 3) and
-// update the aggregates atomically on migration.
+// update the aggregates atomically on migration. Within a set, chunks are
+// balanced by member arc counts (prefix sum over OutDegree into the reused
+// setPrefix buffer) rather than member counts.
 func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 	st.refreshAggregates(st.curr, workers)
-	for _, set := range sets {
-		par.ForChunk(len(set), workers, 64, func(lo, hi int) {
-			sc := newScratch()
+	if st.colorPrefix == nil {
+		total := 0
+		for _, set := range sets {
+			total += len(set) + 1
+		}
+		buf := make([]int64, total) // one backing array for all sets
+		st.colorPrefix = make([][]int64, len(sets))
+		off := 0
+		for si, set := range sets {
+			prefix := buf[off : off+len(set)+1]
+			off += len(set) + 1
+			for t, v := range set {
+				prefix[t+1] = prefix[t] + int64(st.g.OutDegree(int(v)))
+			}
+			st.colorPrefix[si] = prefix
+		}
+	}
+	for si, set := range sets {
+		par.ForChunkPrefix(st.colorPrefix[si], workers, func(w, lo, hi int) {
+			acc := st.scratch[w]
 			for t := lo; t < hi; t++ {
 				i := int(set[t])
 				old := st.curr[i]
-				next := st.decide(i, st.curr, sc, true, false)
+				next := st.decide(i, st.curr, acc, true, false)
 				if next != old {
 					st.applyMove(i, old, next)
 					st.curr[i] = next
@@ -254,13 +274,12 @@ func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 // neighbors' CURRENT assignments are, with membership and aggregates both
 // accessed atomically because adjacent vertices move concurrently.
 func (st *phaseState) sweepAsync(workers int) {
-	n := st.g.N()
 	st.refreshAggregates(st.curr, workers)
-	par.ForChunk(n, workers, 256, func(lo, hi int) {
-		sc := newScratch()
+	par.ForChunkPrefix(st.g.ArcOffsets(), workers, func(w, lo, hi int) {
+		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
 			old := atomicLoad32(&st.curr[i])
-			next := st.decide(i, st.curr, sc, true, true)
+			next := st.decide(i, st.curr, acc, true, true)
 			if next != old {
 				st.applyMove(i, old, next)
 				atomicStore32(&st.curr[i], next)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"sort"
 	"sync/atomic"
 
 	"grappolo/internal/graph"
@@ -72,13 +71,26 @@ func renumberSerial(comm []int32) []int32 {
 	return out
 }
 
+// rowArena is one worker's append-only staging area for aggregated
+// community rows: rows land here in whatever order the worker claims
+// communities, then a prefix sum over row lengths stitches them into the
+// final CSR. Growth is amortized across all rows a worker produces, so the
+// per-community map + slice allocations of the original implementation
+// (the §5.5 rebuild bottleneck) are gone.
+type rowArena struct {
+	adj []int32
+	w   []float64
+}
+
 // rebuild constructs the next phase's coarsened graph from a dense
 // membership (§5.4 step 4, §5.5): one meta-vertex per community, self-loop
 // weight = 2×(intra non-loop weight) + member self-loops, inter-community
 // edges aggregated symmetrically. All steps are parallel: vertices are
 // grouped by community with a counting sort, then each community's row is
-// aggregated independently (lock-free, one goroutine chunk per community
-// range — the Go substitute for the paper's two-lock edge traversal).
+// aggregated independently into a per-worker flat accumulator (key order
+// sorted ascending for deterministic rows), staged in a per-worker arena,
+// and stitched into the final CSR with a prefix sum over row lengths —
+// lock-free, allocation-amortized, no hashing anywhere.
 func rebuild(g *graph.Graph, membership []int32, numComm, workers int) *graph.Graph {
 	n := g.N()
 	// Group vertices by community: counting sort with atomic counters.
@@ -100,62 +112,57 @@ func rebuild(g *graph.Graph, membership []int32, numComm, workers int) *graph.Gr
 		}
 	})
 
-	// Aggregate each community's row. rowAdj/rowW are per-community slices
-	// built independently, then stitched into CSR.
-	rowAdj := make([][]int32, numComm)
-	rowW := make([][]float64, numComm)
-	par.ForChunk(numComm, workers, 1, func(lo, hi int) {
-		agg := make(map[int32]float64, 16)
+	// Aggregate each community's row into its worker's accumulator, keyed by
+	// neighbor community. Adding ALL arcs (intra ones included) reproduces
+	// the self-loop convention for free: key c accumulates 2×(intra non-loop
+	// weight) + member self-loops, because internal non-loop arcs are visited
+	// twice (u→v and v→u) and self-loops once.
+	nw := par.Workers(workers, numComm)
+	accs := make([]*par.SparseAccum, nw)
+	arenas := make([]rowArena, nw)
+	rowLen := make([]int64, numComm+1) // row length, then CSR offsets in place
+	rowWk := make([]int32, numComm)    // which worker's arena holds row c
+	rowOff := make([]int64, numComm)   // at which offset in that arena
+	// starts doubles as a member-count prefix sum over communities, so the
+	// aggregation chunks balance by community size rather than community
+	// count (one giant community can no longer serialize the rebuild).
+	par.ForChunkPrefix(starts, workers, func(w, lo, hi int) {
+		acc := accs[w]
+		if acc == nil {
+			acc = par.NewSparseAccum(numComm, 0)
+			accs[w] = acc
+		}
+		ar := &arenas[w]
 		for c := lo; c < hi; c++ {
-			clear(agg)
-			selfW := 0.0
+			acc.Reset()
 			for _, u := range members[starts[c]:starts[c+1]] {
 				nbr, wts := g.Neighbors(int(u))
 				for t, v := range nbr {
-					cv := membership[v]
-					if int(cv) == c {
-						// Internal non-loop arcs are visited twice (u→v and
-						// v→u) accumulating 2w; self-loops once, w — the
-						// degree-preserving convention.
-						selfW += wts[t]
-					} else {
-						agg[cv] += wts[t]
-					}
+					acc.Add(membership[v], wts[t])
 				}
 			}
-			keys := make([]int32, 0, len(agg)+1)
-			if selfW > 0 {
-				keys = append(keys, int32(c))
+			keys := acc.Keys()
+			par.SortInt32(keys) // deterministic ascending row order
+			rowLen[c] = int64(len(keys))
+			rowWk[c] = int32(w)
+			rowOff[c] = int64(len(ar.adj))
+			for _, k := range keys {
+				ar.adj = append(ar.adj, k)
+				ar.w = append(ar.w, acc.Get(k))
 			}
-			for k := range agg {
-				keys = append(keys, k)
-			}
-			sort.Slice(keys, func(a, b int) bool { return keys[a] < keys[b] })
-			ws := make([]float64, len(keys))
-			for t, k := range keys {
-				if int(k) == c {
-					ws[t] = selfW
-				} else {
-					ws[t] = agg[k]
-				}
-			}
-			rowAdj[c], rowW[c] = keys, ws
 		}
 	})
 
-	offsets := make([]int64, numComm+1)
-	par.ForChunk(numComm, workers, 0, func(lo, hi int) {
-		for c := lo; c < hi; c++ {
-			offsets[c] = int64(len(rowAdj[c]))
-		}
-	})
-	totalArcs := par.ExclusivePrefixSum(offsets, workers)
+	totalArcs := par.ExclusivePrefixSum(rowLen, workers)
+	offsets := rowLen // rowLen now holds the exclusive prefix sums
 	adj := make([]int32, totalArcs)
 	weights := make([]float64, totalArcs)
 	par.ForChunk(numComm, workers, 0, func(lo, hi int) {
 		for c := lo; c < hi; c++ {
-			copy(adj[offsets[c]:], rowAdj[c])
-			copy(weights[offsets[c]:], rowW[c])
+			cnt := offsets[c+1] - offsets[c]
+			ar := &arenas[rowWk[c]]
+			copy(adj[offsets[c]:offsets[c+1]], ar.adj[rowOff[c]:rowOff[c]+cnt])
+			copy(weights[offsets[c]:offsets[c+1]], ar.w[rowOff[c]:rowOff[c]+cnt])
 		}
 	})
 	cg, err := graph.FromCSR(offsets, adj, weights, workers, false)

@@ -3,6 +3,7 @@ package generate
 import (
 	"fmt"
 	"math"
+	"os"
 	"sort"
 
 	"grappolo/internal/graph"
@@ -22,6 +23,20 @@ const (
 	// Large targets ~40k-260k vertices (benchmark harness).
 	Large
 )
+
+// ScaleFromEnv returns the Scale selected by the GRAPPOLO_BENCH_SCALE
+// environment variable (small | medium | large), defaulting to Medium.
+// Benchmark files across the repository share this single mapping.
+func ScaleFromEnv() Scale {
+	switch os.Getenv("GRAPPOLO_BENCH_SCALE") {
+	case "small":
+		return Small
+	case "large":
+		return Large
+	default:
+		return Medium
+	}
+}
 
 // Input identifies one of the 11 synthetic analogs of the paper's Table 1.
 type Input string

@@ -3,6 +3,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 
 	"grappolo/internal/par"
 )
@@ -153,20 +154,32 @@ func (g *Graph) normalizeRows(p int) {
 	g.offsets, g.adj, g.weights = newLen, adj, weights
 }
 
-// finish computes cached degrees and the total weight.
+// finish computes the cached degrees, total weight, self-loop count, and
+// maximum out-degree.
 func (g *Graph) finish(p int) {
 	n := g.N()
 	g.degree = make([]float64, n)
+	var loops atomic.Int64
 	par.ForChunk(n, p, 0, func(lo, hi int) {
+		var chunkLoops int64
 		for i := lo; i < hi; i++ {
-			_, w := g.Neighbors(i)
+			nbr, w := g.Neighbors(i)
 			s := 0.0
-			for _, x := range w {
+			for t, x := range w {
 				s += x
+				if nbr[t] == int32(i) {
+					chunkLoops++
+				}
 			}
 			g.degree[i] = s
 		}
+		loops.Add(chunkLoops)
 	})
+	g.loops = loops.Load()
+	// Cheap O(n) reductions over cached per-row data (no arc traffic).
+	g.maxOut = int(par.MaxInt64(n, p, func(i int) int64 {
+		return g.offsets[i+1] - g.offsets[i]
+	}))
 	g.totalW = par.SumFloat64(n, p, func(i int) float64 { return g.degree[i] })
 }
 

@@ -25,6 +25,8 @@ type Graph struct {
 	weights []float64 // parallel to adj
 	degree  []float64 // weighted degree k_i (row sums, self-loop once)
 	totalW  float64   // 2m' = Σ k_i; m = totalW / 2
+	loops   int64     // number of self-loop arcs, cached at build time
+	maxOut  int       // max unweighted out-degree, cached at build time
 }
 
 // N returns the number of vertices.
@@ -35,19 +37,25 @@ func (g *Graph) N() int { return len(g.offsets) - 1 }
 func (g *Graph) ArcCount() int64 { return int64(len(g.adj)) }
 
 // EdgeCount returns the number of undirected edges M (self-loops count as
-// one edge each).
+// one edge each). The self-loop count is cached at build time, so this is
+// O(1) rather than a scan over all arcs.
 func (g *Graph) EdgeCount() int64 {
-	loops := int64(0)
-	for i := 0; i < g.N(); i++ {
-		lo, hi := g.offsets[i], g.offsets[i+1]
-		for a := lo; a < hi; a++ {
-			if g.adj[a] == int32(i) {
-				loops++
-			}
-		}
-	}
-	return (int64(len(g.adj))-loops)/2 + loops
+	return (int64(len(g.adj))-g.loops)/2 + g.loops
 }
+
+// SelfLoopCount returns the number of self-loop arcs, cached at build time.
+func (g *Graph) SelfLoopCount() int64 { return g.loops }
+
+// MaxOutDegree returns the maximum unweighted out-degree over all vertices
+// (0 for an empty graph), cached at build time. Hot-path callers size their
+// per-worker neighbor-community accumulators with it.
+func (g *Graph) MaxOutDegree() int { return g.maxOut }
+
+// ArcOffsets returns the CSR offset array (length N()+1): an exclusive
+// prefix sum of per-vertex arc counts, directly usable as the weight prefix
+// of par.ForChunkPrefix for arc-balanced vertex chunking. Callers must not
+// modify it.
+func (g *Graph) ArcOffsets() []int64 { return g.offsets }
 
 // TotalWeight returns Σ_i k_i = 2m.
 func (g *Graph) TotalWeight() float64 { return g.totalW }

@@ -1,0 +1,119 @@
+package par
+
+import "slices"
+
+// SparseAccum is a reusable, allocation-free sparse accumulator over int32
+// keys drawn from a bounded universe [0, universe): a flat []float64 value
+// array indexed directly by key, a dense []int32 list of the keys touched
+// since the last Reset (in first-touch order), and a []int32 generation
+// stamp per slot marking which "epoch" last wrote it.
+//
+// It replaces the per-vertex neighbor-community hash map the paper
+// identifies as the dominant cost of the local-move phase (§5.5): Add is a
+// single array index plus a stamp compare instead of a hash probe, Reset is
+// O(1) amortized (bump the generation, truncate the key list — stale values
+// are never cleared, merely outdated), and no allocation ever happens after
+// construction as long as the touched-key count stays within the declared
+// maxKeys. This is the standard flat-accumulator trick of later parallel
+// Louvain codes (Vite, NetworKit's PLM).
+//
+// A SparseAccum is not safe for concurrent use; give each worker its own
+// (see ForChunkWorker's worker index).
+type SparseAccum struct {
+	vals []float64 // vals[k] is meaningful iff mark[k] == gen
+	mark []int32   // generation stamp per key slot
+	keys []int32   // keys touched since Reset, first-touch order
+	gen  int32     // current epoch; starts at 1 so zeroed marks are stale
+}
+
+// NewSparseAccum returns an accumulator for keys in [0, universe) able to
+// hold maxKeys distinct touched keys between Resets without reallocating.
+// maxKeys <= 0 or > universe defaults to universe.
+func NewSparseAccum(universe, maxKeys int) *SparseAccum {
+	if universe < 0 {
+		universe = 0
+	}
+	if maxKeys <= 0 || maxKeys > universe {
+		maxKeys = universe
+	}
+	return &SparseAccum{
+		vals: make([]float64, universe),
+		mark: make([]int32, universe),
+		keys: make([]int32, 0, maxKeys),
+		gen:  1,
+	}
+}
+
+// Universe returns the key-space size the accumulator was built for.
+func (a *SparseAccum) Universe() int { return len(a.vals) }
+
+// Reset forgets all touched keys in O(1): it bumps the generation so every
+// slot's stamp becomes stale and truncates the key list. Values are left in
+// place — they are unreadable until their slot is re-stamped by Add/Ensure.
+func (a *SparseAccum) Reset() {
+	a.keys = a.keys[:0]
+	if a.gen == 1<<31-1 { // int32 exhaustion after ~2^31 Resets: re-zero stamps
+		for i := range a.mark {
+			a.mark[i] = 0
+		}
+		a.gen = 0
+	}
+	a.gen++
+}
+
+// Ensure registers key k with value 0 if it has not been touched this epoch.
+// Used to pin a vertex's own community at keys[0] even when no neighbor
+// shares it (e_{i→C(i)\{i}} may legitimately be 0).
+func (a *SparseAccum) Ensure(k int32) {
+	if a.mark[k] != a.gen {
+		a.mark[k] = a.gen
+		a.vals[k] = 0
+		a.keys = append(a.keys, k)
+	}
+}
+
+// Add accumulates w onto key k, registering k on first touch.
+func (a *SparseAccum) Add(k int32, w float64) {
+	if a.mark[k] == a.gen {
+		a.vals[k] += w
+		return
+	}
+	a.mark[k] = a.gen
+	a.vals[k] = w
+	a.keys = append(a.keys, k)
+}
+
+// Get returns the accumulated value for k, or 0 if k is untouched.
+func (a *SparseAccum) Get(k int32) float64 {
+	if a.mark[k] != a.gen {
+		return 0
+	}
+	return a.vals[k]
+}
+
+// Len returns the number of distinct keys touched since Reset.
+func (a *SparseAccum) Len() int { return len(a.keys) }
+
+// Keys returns the touched keys in first-touch order. The slice aliases
+// internal storage: it is valid until the next Reset, and callers may
+// reorder it in place (e.g. sort it) — values stay addressable via Get.
+func (a *SparseAccum) Keys() []int32 { return a.keys }
+
+// SortInt32 sorts a small int32 slice ascending: insertion sort for the
+// typically tiny coarsened/accumulator rows, stdlib pdqsort for the
+// occasional hub row. No closure-based sort.Slice on hot paths.
+func SortInt32(v []int32) {
+	if len(v) <= 24 {
+		for i := 1; i < len(v); i++ {
+			x := v[i]
+			j := i - 1
+			for j >= 0 && v[j] > x {
+				v[j+1] = v[j]
+				j--
+			}
+			v[j+1] = x
+		}
+		return
+	}
+	slices.Sort(v)
+}

@@ -52,12 +52,28 @@ func For(n, p int, body func(i int)) {
 // roughly 8 chunks per worker, a reasonable balance between scheduling
 // overhead and load balance for skewed work.
 func ForChunk(n, p, grain int, body func(lo, hi int)) {
+	ForChunkWorker(n, p, grain, func(_, lo, hi int) { body(lo, hi) })
+}
+
+// Workers returns the effective worker count a loop over n items will use
+// for a requested parallelism p: p clamped to [1, n] with the default
+// substituted for p <= 0. Callers sizing per-worker state (scratch pools
+// indexed by the worker argument of ForChunkWorker / ForChunkPrefix /
+// ForStatic) should allocate exactly this many slots.
+func Workers(p, n int) int { return normWorkers(p, n) }
+
+// ForChunkWorker is ForChunk with the claiming worker's index (in
+// [0, Workers(p, n))) passed to the body, so callers can reuse per-worker
+// scratch state (e.g. a SparseAccum per worker) across chunks instead of
+// allocating per chunk. Chunks are still dynamically scheduled; the worker
+// index only identifies the goroutine, not a static range.
+func ForChunkWorker(n, p, grain int, body func(worker, lo, hi int)) {
 	p = normWorkers(p, n)
 	if n == 0 {
 		return
 	}
 	if p == 1 {
-		body(0, n)
+		body(0, 0, n)
 		return
 	}
 	if grain <= 0 {
@@ -70,7 +86,7 @@ func ForChunk(n, p, grain int, body func(lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				lo := int(cursor.Add(int64(grain))) - grain
@@ -81,9 +97,74 @@ func ForChunk(n, p, grain int, body func(lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				body(lo, hi)
+				body(w, lo, hi)
 			}
-		}()
+		}(w)
+	}
+	wg.Wait()
+}
+
+// ForChunkPrefix runs body(worker, lo, hi) over disjoint chunks covering
+// [0, n) whose boundaries are balanced by cumulative item WEIGHT rather than
+// item count. prefix must be an exclusive prefix sum of length n+1
+// (prefix[i] = total weight of items [0, i); a graph's CSR offset array is
+// exactly this for per-vertex arc counts). Roughly 8 weight-balanced chunks
+// per worker are dynamically scheduled, so a handful of heavy items (hub
+// vertices on skewed inputs) cannot serialize a sweep the way count-based
+// chunking lets them.
+func ForChunkPrefix(prefix []int64, p int, body func(worker, lo, hi int)) {
+	n := len(prefix) - 1
+	if n <= 0 {
+		return
+	}
+	p = normWorkers(p, n)
+	total := prefix[n] - prefix[0]
+	if p == 1 || total <= 0 {
+		body(0, 0, n)
+		return
+	}
+	chunks := p * 8
+	if chunks > n {
+		chunks = n
+	}
+	bound := func(c int) int {
+		if c <= 0 {
+			return 0
+		}
+		if c >= chunks {
+			return n
+		}
+		// Smallest i with prefix[i]-prefix[0] >= c·total/chunks: zero-weight
+		// runs collapse into one boundary, possibly leaving empty chunks.
+		target := prefix[0] + int64(c)*total/int64(chunks)
+		lo, hi := 0, n
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if prefix[mid] < target {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		return lo
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(w int) {
+			defer wg.Done()
+			for {
+				c := int(cursor.Add(1)) - 1
+				if c >= chunks {
+					return
+				}
+				lo, hi := bound(c), bound(c+1)
+				if lo < hi {
+					body(w, lo, hi)
+				}
+			}
+		}(w)
 	}
 	wg.Wait()
 }

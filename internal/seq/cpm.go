@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"grappolo/internal/graph"
+	"grappolo/internal/par"
 )
 
 // The paper's future-work item (iv) proposes extending the algorithms "to
@@ -110,12 +111,10 @@ func cpmPhase(g *graph.Graph, nodeSize []int64, opts CPMOptions) ([]int32, int, 
 		comm[i] = int32(i)
 		commSize[i] = nodeSize[i]
 	}
-	type cw struct {
-		c int32
-		w float64
-	}
-	var ncs []cw
-	idx := make(map[int32]int, 64)
+	// Flat neighbor-community accumulator (community id → e_{i→C}); same
+	// first-touch ordering as the hash map it replaced, so moves are
+	// bit-identical.
+	acc := par.NewSparseAccum(n, g.MaxOutDegree()+1)
 	prev := CPMScoreSized(g, comm, nodeSize, opts.Gamma)
 	iters := 0
 	for opts.MaxIterations == 0 || iters < opts.MaxIterations {
@@ -123,32 +122,24 @@ func cpmPhase(g *graph.Graph, nodeSize []int64, opts CPMOptions) ([]int32, int, 
 			ci := comm[i]
 			si := nodeSize[i]
 			nbr, wts := g.Neighbors(i)
-			ncs = ncs[:0]
-			clear(idx)
-			idx[ci] = 0
-			ncs = append(ncs, cw{c: ci})
+			acc.Reset()
+			acc.Ensure(ci)
 			for t, j := range nbr {
 				if int(j) == i {
 					continue
 				}
-				cj := comm[j]
-				if k, ok := idx[cj]; ok {
-					ncs[k].w += wts[t]
-				} else {
-					idx[cj] = len(ncs)
-					ncs = append(ncs, cw{c: cj, w: wts[t]})
-				}
+				acc.Add(comm[j], wts[t])
 			}
-			eOwn := ncs[0].w
+			eOwn := acc.Get(ci)
 			sOwnLess := commSize[ci] - si
 			best := ci
 			bestGain := 0.0
-			for _, t := range ncs[1:] {
+			for _, c := range acc.Keys()[1:] {
 				// ΔH = (e_{i→Ct} − e_{i→Ci\{i}}) − γ·s_i·(s_Ct − s_Ci+s_i);
 				// normalized by m to match the reported score.
-				gain := (t.w - eOwn - opts.Gamma*float64(si)*float64(commSize[t.c]-sOwnLess)) / m
-				if gain > bestGain || (gain == bestGain && gain > 0 && t.c < best) {
-					bestGain, best = gain, t.c
+				gain := (acc.Get(c) - eOwn - opts.Gamma*float64(si)*float64(commSize[c]-sOwnLess)) / m
+				if gain > bestGain || (gain == bestGain && gain > 0 && c < best) {
+					bestGain, best = gain, c
 				}
 			}
 			if best != ci && bestGain > 0 {
@@ -196,7 +187,15 @@ func CPMScoreSized(g *graph.Graph, membership []int32, nodeSize []int64, gamma f
 	// 2×intra-non-loop + 1×member-loops), so scores agree across phases;
 	// w_in := within2/2, meaning an input self-loop counts half an edge.
 	within2 := 0.0
-	size := make(map[int32]int64)
+	// Flat community-size table sized to the largest label, so arbitrary
+	// (non-dense) partitions still score correctly without hashing.
+	maxID := int32(0)
+	for _, c := range membership {
+		if c > maxID {
+			maxID = c
+		}
+	}
+	size := make([]int64, maxID+1)
 	for i := 0; i < n; i++ {
 		size[membership[i]] += nodeSize[i]
 		nbr, wts := g.Neighbors(i)

@@ -9,9 +9,9 @@ package seq
 
 import (
 	"fmt"
-	"sort"
 
 	"grappolo/internal/graph"
+	"grappolo/internal/par"
 )
 
 // Options control the serial Louvain run.
@@ -131,13 +131,12 @@ func louvainPhase(g *graph.Graph, opts Options) ([]int32, PhaseTrace, float64) {
 	}
 	trace := PhaseTrace{VertexCount: n}
 	prevQ := Modularity(g, comm, opts.Resolution)
-	// neighComm scratch: community id -> aggregated edge weight e_{i→C}.
-	type cw struct {
-		c int32
-		w float64
-	}
-	var ncs []cw
-	idx := make(map[int32]int, 64)
+	// Neighbor-community scratch: the flat generation-stamped accumulator
+	// (community id → aggregated edge weight e_{i→C}) that replaced the
+	// per-vertex hash map, keeping the serial baseline honest for
+	// speedup-vs-serial comparisons. First-touch key order matches the old
+	// map-insertion order, so decisions are bit-identical.
+	acc := par.NewSparseAccum(n, g.MaxOutDegree()+1)
 
 	order := opts.Order
 	if order != nil && len(order) != n {
@@ -152,36 +151,28 @@ func louvainPhase(g *graph.Graph, opts Options) ([]int32, PhaseTrace, float64) {
 			ci := comm[i]
 			ki := g.Degree(i)
 			nbr, wts := g.Neighbors(i)
-			ncs = ncs[:0]
-			clear(idx)
+			acc.Reset()
 			// Ensure the current community is present even if i has no
 			// neighbor inside it (e_{i→C(i)\{i}} may be 0).
-			idx[ci] = 0
-			ncs = append(ncs, cw{c: ci})
+			acc.Ensure(ci)
 			for t, j := range nbr {
 				if int(j) == i {
 					continue // self-loop stays with i regardless of move
 				}
-				cj := comm[j]
-				if k, ok := idx[cj]; ok {
-					ncs[k].w += wts[t]
-				} else {
-					idx[cj] = len(ncs)
-					ncs = append(ncs, cw{c: cj, w: wts[t]})
-				}
+				acc.Add(comm[j], wts[t])
 			}
-			eOwn := ncs[0].w // e_{i→C(i)\{i}}
+			eOwn := acc.Get(ci) // e_{i→C(i)\{i}}
 			aOwn := a[ci] - ki
 			best := ci
 			bestGain := 0.0
-			for _, t := range ncs[1:] {
+			for _, c := range acc.Keys()[1:] {
 				// Eq. (4): ΔQ_{i→C(t)} = (e_{i→Ct} − e_{i→Ci\{i}})/m
 				//   + γ·(2·k_i·a_{Ci\{i}} − 2·k_i·a_{Ct}) / (2m)²
-				gain := (t.w-eOwn)/m +
-					opts.Resolution*(2*ki*aOwn-2*ki*a[t.c])/(4*m*m)
+				gain := (acc.Get(c)-eOwn)/m +
+					opts.Resolution*(2*ki*aOwn-2*ki*a[c])/(4*m*m)
 				if gain > bestGain {
 					bestGain = gain
-					best = t.c
+					best = c
 				}
 			}
 			if best != ci && bestGain > 0 {
@@ -203,20 +194,29 @@ func louvainPhase(g *graph.Graph, opts Options) ([]int32, PhaseTrace, float64) {
 	return dense, trace, prevQ
 }
 
-// Renumber maps arbitrary community ids to dense ids [0, k) preserving
-// first-appearance order, in place over a copy.
+// Renumber maps arbitrary non-negative community ids to dense ids [0, k)
+// preserving first-appearance order, in place over a copy. The remap table
+// is a flat array sized to the maximum id (ids are vertex-derived, so this
+// is O(n) space) — no hashing.
 func Renumber(comm []int32) []int32 {
 	dense := make([]int32, len(comm))
+	maxID := int32(-1)
+	for _, c := range comm {
+		if c > maxID {
+			maxID = c
+		}
+	}
+	remap := make([]int32, maxID+1)
+	for i := range remap {
+		remap[i] = -1
+	}
 	next := int32(0)
-	remap := make(map[int32]int32, 256)
 	for i, c := range comm {
-		d, ok := remap[c]
-		if !ok {
-			d = next
-			remap[c] = d
+		if remap[c] < 0 {
+			remap[c] = next
 			next++
 		}
-		dense[i] = d
+		dense[i] = remap[c]
 	}
 	return dense
 }
@@ -262,70 +262,66 @@ func Modularity(g *graph.Graph, comm []int32, gamma float64) float64 {
 // convention: 2×w per internal non-loop edge plus member self-loops), and
 // inter-community edges aggregating cross weights. membership must be dense
 // in [0, numComm).
+//
+// Vertices are grouped by community with a serial counting sort, each
+// community's row aggregates in a single reused flat accumulator, and rows
+// are written straight into the CSR arrays over a prefix sum of row lengths
+// — the serial twin of core's parallel rebuild, with no per-community maps.
+// The stable ascending scatter keeps per-key addition order identical to
+// the old vertex-order map accumulation, so weights are bit-identical.
 func Coarsen(g *graph.Graph, membership []int32, numComm int) *graph.Graph {
 	n := g.N()
 	if len(membership) != n {
 		panic(fmt.Sprintf("seq: membership length %d != n %d", len(membership), n))
 	}
-	rows := make([]map[int32]float64, numComm)
-	for c := range rows {
-		rows[c] = make(map[int32]float64, 4)
+	// Counting sort: members of community c at members[starts[c]:starts[c+1]],
+	// in ascending vertex order.
+	starts := make([]int64, numComm+1)
+	for _, c := range membership {
+		starts[c+1]++
 	}
+	for c := 0; c < numComm; c++ {
+		starts[c+1] += starts[c]
+	}
+	members := make([]int32, n)
+	cursor := make([]int64, numComm)
+	copy(cursor, starts[:numComm])
 	for u := 0; u < n; u++ {
-		cu := membership[u]
-		nbr, wts := g.Neighbors(u)
-		for t, v := range nbr {
-			cv := membership[v]
-			rows[cu][cv] += wts[t]
-			// Internal non-loop edges appear in both rows → 2w total at
-			// rows[cu][cu]; self-loops appear once → w. Inter edges appear
-			// once from each side → symmetric w. Exactly the convention.
-		}
+		c := membership[u]
+		members[cursor[c]] = int32(u)
+		cursor[c]++
 	}
-	var offsets []int64
-	var adj []int32
-	var weights []float64
-	offsets = make([]int64, numComm+1)
+
+	// Aggregate rows in community order, appending straight into the final
+	// CSR arrays: serial processing emits rows already in CSR order, so a
+	// single traversal of the arcs suffices (capacity ArcCount is an upper
+	// bound — aggregation only ever merges arcs).
+	acc := par.NewSparseAccum(numComm, 0)
+	offsets := make([]int64, numComm+1)
+	adj := make([]int32, 0, g.ArcCount())
+	weights := make([]float64, 0, g.ArcCount())
 	for c := 0; c < numComm; c++ {
-		offsets[c+1] = offsets[c] + int64(len(rows[c]))
-	}
-	adj = make([]int32, offsets[numComm])
-	weights = make([]float64, offsets[numComm])
-	for c := 0; c < numComm; c++ {
-		pos := offsets[c]
-		// Deterministic row order: ascending neighbor id.
-		keys := make([]int32, 0, len(rows[c]))
-		for k := range rows[c] {
-			keys = append(keys, k)
+		acc.Reset()
+		for _, u := range members[starts[c]:starts[c+1]] {
+			nbr, wts := g.Neighbors(int(u))
+			for t, v := range nbr {
+				acc.Add(membership[v], wts[t])
+				// Internal non-loop edges are visited from both endpoints →
+				// 2w at key c; self-loops once → w. Inter edges appear once
+				// from each side → symmetric w. Exactly the convention.
+			}
 		}
-		sortInt32(keys)
+		keys := acc.Keys()
+		par.SortInt32(keys) // deterministic row order: ascending neighbor id
 		for _, k := range keys {
-			adj[pos] = k
-			weights[pos] = rows[c][k]
-			pos++
+			adj = append(adj, k)
+			weights = append(weights, acc.Get(k))
 		}
+		offsets[c+1] = int64(len(adj))
 	}
 	cg, err := graph.FromCSR(offsets, adj, weights, 1, false)
 	if err != nil {
 		panic(err) // unreachable: check=false never errors
 	}
 	return cg
-}
-
-func sortInt32(v []int32) {
-	// Insertion sort for the typically tiny coarsened rows; stdlib sort for
-	// the occasional large hub row.
-	if len(v) <= 24 {
-		for i := 1; i < len(v); i++ {
-			x := v[i]
-			j := i - 1
-			for j >= 0 && v[j] > x {
-				v[j+1] = v[j]
-				j--
-			}
-			v[j+1] = x
-		}
-		return
-	}
-	sort.Slice(v, func(i, j int) bool { return v[i] < v[j] })
 }

@@ -273,7 +273,7 @@ func TestRunDeterministic(t *testing.T) {
 func TestSortInt32(t *testing.T) {
 	f := func(raw []int32) bool {
 		v := append([]int32(nil), raw...)
-		sortInt32(v)
+		par.SortInt32(v)
 		for i := 1; i < len(v); i++ {
 			if v[i-1] > v[i] {
 				return false
@@ -290,7 +290,7 @@ func TestSortInt32(t *testing.T) {
 	for i := range big {
 		big[i] = int32(rng.Intn(100))
 	}
-	sortInt32(big)
+	par.SortInt32(big)
 	for i := 1; i < len(big); i++ {
 		if big[i-1] > big[i] {
 			t.Fatal("quicksort path failed")

@@ -42,6 +42,7 @@ func run(args []string) error {
 		inputsF = fs.String("inputs", "", "comma-separated input subset (default: per-experiment paper set)")
 		repeats = fs.Int("repeats", 3, "repeated runs for [min,max] modularity tables")
 		sec7    = fs.Bool("sec7", false, "run the §7 related-work comparison (grappolo vs PLM emulation)")
+		skew    = fs.Bool("colorskew", false, "run the §6.2 color-set skew study (base vs vertex- vs arc-balanced coloring)")
 		csvDir  = fs.String("csv", "", "also write machine-readable CSVs for table 2/3 and figs 3-6 into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -215,6 +216,22 @@ func run(args []string) error {
 			return err
 		}
 		harness.WriteTable4(w, rows)
+		fmt.Fprintln(w)
+		ran = true
+	}
+	if *all || *skew {
+		rows, err := harness.ColorSkew(o, subset([]generate.Input{
+			generate.CNR, generate.UK2002, generate.LiveJournal, generate.Friendster,
+		}))
+		if err != nil {
+			return err
+		}
+		harness.WriteColorSkew(w, rows)
+		if err := writeCSV(*csvDir, "colorskew.csv", func(f io.Writer) error {
+			return harness.WriteColorSkewCSV(f, rows)
+		}); err != nil {
+			return err
+		}
 		fmt.Fprintln(w)
 		ran = true
 	}

@@ -30,6 +30,20 @@ func TestEachFigure(t *testing.T) {
 	}
 }
 
+func TestColorSkewStudy(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-colorskew", "-scale", "small", "-inputs", "uk", "-csv", dir}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "colorskew.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(data) == 0 {
+		t.Fatal("colorskew.csv empty")
+	}
+}
+
 func TestCSVArtifacts(t *testing.T) {
 	dir := t.TempDir()
 	if err := run([]string{"-table", "2", "-inputs", "mg1", "-scale", "small", "-csv", dir}); err != nil {

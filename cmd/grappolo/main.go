@@ -43,6 +43,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "worker count (0 = all CPUs)")
 		threshold = fs.Float64("threshold", 0, "final modularity-gain threshold (0 = default 1e-6)")
 		cutoff    = fs.Int("color-cutoff", 0, "coloring vertex cutoff (0 = default 100000)")
+		balance   = fs.String("balance", "off", "color-set rebalancing: off | vertex | arc (§6.2 balanced coloring)")
 		objective = fs.String("objective", "modularity", "quality function: modularity | cpm")
 		cpmGamma  = fs.Float64("cpm-gamma", 0.5, "CPM resolution parameter (with -objective cpm)")
 		stats     = fs.Bool("stats", false, "print input degree statistics (Table 1 row)")
@@ -84,6 +85,16 @@ func run(args []string) error {
 		if *cutoff > 0 {
 			opts.ColoringVertexCutoff = *cutoff
 		}
+		switch *balance {
+		case "off":
+			opts.ColorBalance = core.BalanceOff
+		case "vertex":
+			opts.ColorBalance = core.BalanceVertices
+		case "arc":
+			opts.ColorBalance = core.BalanceArcs
+		default:
+			return fmt.Errorf("unknown balance mode %q (off|vertex|arc)", *balance)
+		}
 		opts.KeepHierarchy = *hierarchy
 		switch *objective {
 		case "modularity":
@@ -108,8 +119,13 @@ func run(args []string) error {
 				if len(ph.Modularity) > 0 {
 					endQ = ph.Modularity[len(ph.Modularity)-1]
 				}
-				fmt.Printf("  phase %d: n=%d iters=%d colored=%v colors=%d Q=%.6f cluster=%s rebuild=%s\n",
-					i+1, ph.VertexCount, ph.Iterations, ph.Colored, ph.NumColors, endQ,
+				colorCols := ""
+				if ph.Colored {
+					colorCols = fmt.Sprintf(" colors=%d rsd=%.3f arcrsd=%.3f",
+						ph.NumColors, ph.ColorSetRSD, ph.ColorArcRSD)
+				}
+				fmt.Printf("  phase %d: n=%d iters=%d colored=%v%s Q=%.6f cluster=%s rebuild=%s\n",
+					i+1, ph.VertexCount, ph.Iterations, ph.Colored, colorCols, endQ,
 					ph.ClusterTime.Round(time.Microsecond), ph.RebuildTime.Round(time.Microsecond))
 			}
 			b := res.Timing

@@ -55,6 +55,18 @@ func TestRunCompareMode(t *testing.T) {
 	}
 }
 
+func TestRunBalanceModes(t *testing.T) {
+	path := writeTempGraph(t)
+	for _, mode := range []string{"off", "vertex", "arc"} {
+		if err := run([]string{"-file", path, "-variant", "vfcolor", "-color-cutoff", "1", "-balance", mode, "-q"}); err != nil {
+			t.Fatalf("balance %s: %v", mode, err)
+		}
+	}
+	if err := run([]string{"-file", path, "-balance", "nope", "-q"}); err == nil {
+		t.Fatal("want error for unknown balance mode")
+	}
+}
+
 func TestRunCPMObjective(t *testing.T) {
 	path := writeTempGraph(t)
 	if err := run([]string{"-file", path, "-variant", "vfcolor", "-objective", "cpm", "-cpm-gamma", "0.5", "-q"}); err != nil {

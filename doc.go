@@ -35,6 +35,25 @@
 // skewed inputs cannot serialize a sweep. First-touch key order equals the
 // old map-insertion order, keeping all deterministic paths bit-identical.
 //
+// # Arc-balanced coloring
+//
+// The paper blames uk-2002's poor speedup on skewed color-set sizes (943
+// colors, set-size RSD 18.876, §6.2) and proposes balanced coloring as the
+// remedy. coloring.Rebalance implements that repair as speculative parallel
+// rounds (the same speculate-and-resolve pattern as the coloring itself)
+// with flat generation-stamped neighbor-color marking, in two balance modes
+// threaded through core.Options.ColorBalance and the -balance CLI flag:
+// vertex mode evens per-set vertex counts, arc mode evens per-set total ARC
+// counts — the metric the colored sweep's work is actually proportional to,
+// so one arc-heavy straggler set cannot serialize a sweep that looks
+// balanced by vertex count. The rebalancer honors the base coloring's
+// distance (a distance-2 coloring is repaired against distance-2
+// neighborhoods), never increases the color count, is deterministic for any
+// worker count, and its per-round load RSD is non-increasing.
+// coloring.Stats and core.PhaseStats report both the vertex-count and
+// arc-count RSDs (harness.ColorSkew / benchtables -colorskew tabulate
+// them).
+//
 // Executables: cmd/grappolo (CLI), cmd/graphgen (input generator),
 // cmd/benchtables (regenerates every table and figure of the paper).
 // Runnable examples are under examples/. The benchmarks in bench_test.go

@@ -1,82 +1,239 @@
 package coloring
 
 import (
+	"cmp"
+	"slices"
+
 	"grappolo/internal/graph"
 	"grappolo/internal/par"
 )
 
+// BalanceBy selects the load metric the rebalancer evens out across color
+// sets.
+type BalanceBy int
+
+const (
+	// BalanceByVertices balances the number of member vertices per color —
+	// the balanced coloring the paper names as the remedy for the uk-2002
+	// skew (§6.2, set-size RSD 18.876).
+	BalanceByVertices BalanceBy = iota
+	// BalanceByArcs balances the total member ARC count per color. The
+	// colored sweep's work is proportional to the arcs its vertices touch,
+	// not to the vertex count, so a vertex-balanced set can still hide an
+	// arc-heavy straggler; arc balancing targets the sweep cost directly.
+	BalanceByArcs
+)
+
+// RebalanceOptions configure a rebalancing run.
+type RebalanceOptions struct {
+	// Workers is the parallel worker count (<= 0: all CPUs).
+	Workers int
+	// By selects the balanced load metric (default BalanceByVertices).
+	By BalanceBy
+	// Distance2 makes every move respect a distance-2 invariant: a vertex
+	// only takes a color absent from its entire distance-<=2 neighborhood.
+	// Required when rebalancing a ParallelDistance2 base coloring — checking
+	// distance-1 neighbors alone would silently break the invariant.
+	Distance2 bool
+	// MaxRounds caps the speculative rounds (<= 0: 32). The repair converges
+	// when a round commits no move, typically long before the cap.
+	MaxRounds int
+}
+
 // Balanced rebalances an existing distance-1 coloring so that color-set
-// sizes are as even as possible while remaining a valid coloring. The paper
-// identifies skewed color-set sizes as the cause of uk-2002's poor speedup
-// (943 colors, set-size RSD 18.876) and names balanced coloring as the
-// remedy under exploration (§6.2); this implements the standard
-// first-fit-to-least-loaded repair pass.
-//
-// Strategy: compute the target size ceil(n / numColors); process vertices of
-// over-full colors in parallel rounds, moving each to the least-loaded color
-// not used by any neighbor when that strictly improves balance. Rounds
-// repeat until no vertex moves. The color count never increases.
+// vertex counts are as even as possible while remaining a valid coloring.
+// It is shorthand for Rebalance with BalanceByVertices at distance 1.
 func Balanced(g *graph.Graph, base *Coloring, p int) *Coloring {
+	return Rebalance(g, base, RebalanceOptions{Workers: p})
+}
+
+// Rebalance repairs an existing coloring toward even per-color loads without
+// ever increasing the color count. It runs the same speculate-and-resolve
+// pattern as Parallel, but over load repair moves instead of first-fit
+// assignment:
+//
+//  1. speculate: every vertex of an over-loaded color (load > ceil(total/k))
+//     proposes a color absent from its (distance-1 or -2) neighborhood whose
+//     load would stay strictly below its own set's. Neighborhood colors are
+//     marked in a flat generation-stamped array; the improving colors form a
+//     prefix of the ascending-load order, scanned from an id-derived offset
+//     so one round's proposals cover every improving color instead of
+//     funneling into the single least-loaded one;
+//  2. resolve: of two neighboring vertices proposing the same color, the
+//     lower id wins and the higher id drops its proposal;
+//  3. commit: surviving proposals are applied in vertex order against live
+//     loads, skipping any move the earlier commits made non-improving.
+//
+// Every committed move strictly decreases Σ load² while Σ load is constant,
+// so the load RSD is non-increasing round over round and the repair
+// terminates. Proposals read only round-start state, the resolve rule is
+// symmetric, and the commit order is fixed, so the result is deterministic
+// for a given base coloring regardless of Workers.
+func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 	n := g.N()
 	if n == 0 || base.NumColors <= 1 {
 		return base
 	}
+	k := base.NumColors
+	maxRounds := o.MaxRounds
+	if maxRounds <= 0 {
+		maxRounds = 32
+	}
 	colors := make([]int32, n)
 	copy(colors, base.Colors)
-	k := base.NumColors
-	// Per-worker size histograms merged serially: cheap and deterministic.
-	nw := par.DefaultWorkers()
-	if p > 0 {
-		nw = p
+	offsets := g.ArcOffsets()
+	weight := func(v int) int64 {
+		if o.By == BalanceByArcs {
+			return offsets[v+1] - offsets[v]
+		}
+		return 1
 	}
+
+	// Per-worker load histograms merged in worker order: cheap and
+	// deterministic.
+	nw := par.Workers(o.Workers, n)
 	partial := make([][]int64, nw)
-	par.ForStatic(n, nw, func(w, lo, hi int) {
+	par.ForStatic(n, o.Workers, func(w, lo, hi int) {
 		h := make([]int64, k)
-		for i := lo; i < hi; i++ {
-			h[colors[i]]++
+		for v := lo; v < hi; v++ {
+			h[colors[v]] += weight(v)
 		}
 		partial[w] = h
 	})
-	sizes := make([]int64, k)
+	loads := make([]int64, k)
+	var total int64
 	for _, h := range partial {
 		for c, v := range h {
-			sizes[c] += v
+			loads[c] += v
 		}
 	}
-	target := int64((n + k - 1) / k)
+	for _, v := range loads {
+		total += v
+	}
+	target := (total + int64(k) - 1) / int64(k)
 
-	for round := 0; round < 2*k+16; round++ {
-		moved := int64(0)
-		// Sequential over vertices of over-full colors, parallel-friendly
-		// in spirit but executed per color set to keep validity trivially
-		// maintained (moves within a round never conflict because each move
-		// re-checks neighbors against the live array).
-		for i := 0; i < n; i++ {
-			c := colors[i]
-			if sizes[c] <= target {
-				continue
-			}
-			nbr, _ := g.Neighbors(i)
-			used := make(map[int32]bool, len(nbr))
-			for _, j := range nbr {
-				if int(j) != i {
-					used[colors[j]] = true
-				}
-			}
-			best := int32(-1)
-			var bestSize int64
-			for cc := int32(0); int(cc) < k; cc++ {
-				if cc == c || used[cc] {
+	proposed := make([]int32, n)
+	dropped := make([]bool, n)
+	order := make([]int32, k) // colors sorted by ascending load each round
+	markers := make([]*par.Marker, nw)
+	for w := range markers {
+		markers[w] = par.NewMarker(k)
+	}
+
+	for round := 0; round < maxRounds; round++ {
+		for c := range order {
+			order[c] = int32(c)
+		}
+		sortByLoad(order, loads)
+
+		// Phase 1: speculative proposals. Reads only round-start colors and
+		// loads, so the outcome is schedule-independent. Chunks are balanced
+		// by arc count: the neighborhood scans dominate and hub vertices
+		// must not serialize the sweep.
+		par.ForChunkPrefix(offsets, o.Workers, func(w, lo, hi int) {
+			mk := markers[w]
+			for v := lo; v < hi; v++ {
+				proposed[v] = -1
+				c := colors[v]
+				wv := weight(v)
+				if wv == 0 || loads[c] <= target {
 					continue
 				}
-				if sizes[cc] < sizes[c]-1 && (best < 0 || sizes[cc] < bestSize) {
-					best, bestSize = cc, sizes[cc]
+				mk.Reset()
+				nbr, _ := g.Neighbors(v)
+				for _, j := range nbr {
+					if int(j) == v {
+						continue
+					}
+					mk.Set(colors[j])
+					if o.Distance2 {
+						nbr2, _ := g.Neighbors(int(j))
+						for _, u := range nbr2 {
+							if int(u) != v {
+								mk.Set(colors[u])
+							}
+						}
+					}
+				}
+				// Improving targets form a prefix of the ascending-load
+				// order: every cc with loads[cc]+wv < loads[c] (c itself can
+				// never qualify). Scanning that prefix from an id-derived
+				// offset instead of always from the front spreads one round's
+				// proposals across ALL improving colors — starting everyone
+				// at the least-loaded color would funnel the round into one
+				// or two targets and both slow convergence and maximize
+				// same-color conflicts between neighbors.
+				lim := loads[c] - wv
+				lo, hi := 0, k
+				for lo < hi {
+					mid := int(uint(lo+hi) >> 1)
+					if loads[order[mid]] < lim {
+						lo = mid + 1
+					} else {
+						hi = mid
+					}
+				}
+				if lo == 0 {
+					continue
+				}
+				start := v % lo
+				for t := 0; t < lo; t++ {
+					cc := order[(start+t)%lo]
+					if !mk.Has(cc) {
+						proposed[v] = cc
+						break
+					}
 				}
 			}
-			if best >= 0 {
-				sizes[c]--
-				sizes[best]++
-				colors[i] = best
+		})
+
+		// Phase 2: conflict resolution. Two conflicting vertices (adjacent,
+		// or within distance 2 in Distance2 mode) proposing the same color
+		// would break validity if both committed; the lower id wins.
+		par.ForChunkPrefix(offsets, o.Workers, func(_, lo, hi int) {
+			for v := lo; v < hi; v++ {
+				pv := proposed[v]
+				if pv < 0 {
+					continue
+				}
+				conflict := false
+				nbr, _ := g.Neighbors(v)
+			scan:
+				for _, j := range nbr {
+					if int(j) != v && proposed[j] == pv && int(j) < v {
+						conflict = true
+						break
+					}
+					if o.Distance2 {
+						nbr2, _ := g.Neighbors(int(j))
+						for _, u := range nbr2 {
+							if int(u) != v && proposed[u] == pv && int(u) < v {
+								conflict = true
+								break scan
+							}
+						}
+					}
+				}
+				dropped[v] = conflict
+			}
+		})
+
+		// Phase 3: serial commit in vertex order against live loads. Cheap
+		// (no arc traffic) and deterministic; the re-check keeps every
+		// applied move strictly balance-improving even after earlier commits
+		// in the same round shifted the loads.
+		moved := 0
+		for v := 0; v < n; v++ {
+			cc := proposed[v]
+			if cc < 0 || dropped[v] {
+				continue
+			}
+			c := colors[v]
+			wv := weight(v)
+			if loads[cc]+wv < loads[c] {
+				loads[c] -= wv
+				loads[cc] += wv
+				colors[v] = cc
 				moved++
 			}
 		}
@@ -85,4 +242,15 @@ func Balanced(g *graph.Graph, base *Coloring, p int) *Coloring {
 		}
 	}
 	return assemble(colors, k, base.Rounds)
+}
+
+// sortByLoad sorts color ids by ascending load, breaking ties by id so the
+// per-round candidate order (and with it the whole repair) is deterministic.
+func sortByLoad(order []int32, loads []int64) {
+	slices.SortFunc(order, func(a, b int32) int {
+		if loads[a] != loads[b] {
+			return cmp.Compare(loads[a], loads[b])
+		}
+		return cmp.Compare(a, b)
+	})
 }

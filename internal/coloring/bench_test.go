@@ -1,6 +1,7 @@
 package coloring
 
 import (
+	"fmt"
 	"testing"
 
 	"grappolo/internal/generate"
@@ -45,5 +46,35 @@ func BenchmarkBalancedRebalance(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = Balanced(g, base, 0)
+	}
+}
+
+// BenchmarkBalanced sweeps the rebalancer over both balance modes and worker
+// counts on a high-color skewed hub graph — the workload the old serial
+// O(n·k²) repair loop degenerated on. The worker sub-benchmarks document the
+// speculative rounds' parallel scaling.
+func BenchmarkBalanced(b *testing.B) {
+	cfg := generate.HubCommunitiesConfig{
+		Sizes:       generate.PowerLawCommunitySizes(400, 15, 1500, 1.8, 7),
+		IntraDegree: 7,
+		CrossFrac:   0.25,
+		HubFanout:   32,
+	}
+	g, _ := generate.HubCommunities(cfg, 42, 0)
+	base := Parallel(g, 0)
+	for _, mode := range []struct {
+		name string
+		by   BalanceBy
+	}{{"vertex", BalanceByVertices}, {"arc", BalanceByArcs}} {
+		for _, p := range []int{1, 2, 4, 8} {
+			b.Run(fmt.Sprintf("%s/p=%d", mode.name, p), func(b *testing.B) {
+				for i := 0; i < b.N; i++ {
+					c := Rebalance(g, base, RebalanceOptions{Workers: p, By: mode.by})
+					if c.NumColors > base.NumColors {
+						b.Fatal("colors increased")
+					}
+				}
+			})
+		}
 	}
 }

@@ -34,16 +34,24 @@ type Coloring struct {
 
 // Stats summarizes a coloring's color-set size distribution. The paper uses
 // the count and relative standard deviation of set sizes to explain the
-// poor speedup on uk-2002 (943 colors, RSD 18.876).
+// poor speedup on uk-2002 (943 colors, RSD 18.876). The arc fields describe
+// the per-set total ARC counts — the metric the colored sweep's work is
+// actually proportional to; they are populated only by ComputeStatsOn,
+// which has the graph to count arcs from.
 type Stats struct {
 	NumColors int
 	MaxSet    int
 	MinSet    int
 	AvgSet    float64
 	RSD       float64 // stddev(set size) / mean(set size)
+	MaxArcs   int64
+	MinArcs   int64
+	AvgArcs   float64
+	ArcRSD    float64 // stddev(set arc count) / mean(set arc count)
 }
 
-// ComputeStats derives the size-distribution statistics of c.
+// ComputeStats derives the vertex-count distribution statistics of c. The
+// arc fields stay zero; use ComputeStatsOn for them.
 func (c *Coloring) ComputeStats() Stats {
 	st := Stats{NumColors: c.NumColors, MinSet: math.MaxInt}
 	if c.NumColors == 0 {
@@ -74,10 +82,52 @@ func (c *Coloring) ComputeStats() Stats {
 	return st
 }
 
-// String renders the stats compactly.
+// ComputeStatsOn derives the full distribution statistics of c on g,
+// including the per-set total arc counts (§6.2's skew metric weighted the
+// way the colored sweep actually pays for it).
+func (c *Coloring) ComputeStatsOn(g *graph.Graph) Stats {
+	st := c.ComputeStats()
+	if c.NumColors == 0 {
+		return st
+	}
+	st.MinArcs = math.MaxInt64
+	var sum, sumSq float64
+	for _, set := range c.Sets {
+		var arcs int64
+		for _, v := range set {
+			arcs += int64(g.OutDegree(int(v)))
+		}
+		if arcs > st.MaxArcs {
+			st.MaxArcs = arcs
+		}
+		if arcs < st.MinArcs {
+			st.MinArcs = arcs
+		}
+		sum += float64(arcs)
+		sumSq += float64(arcs) * float64(arcs)
+	}
+	mean := sum / float64(c.NumColors)
+	st.AvgArcs = mean
+	variance := sumSq/float64(c.NumColors) - mean*mean
+	if variance < 0 {
+		variance = 0
+	}
+	if mean > 0 {
+		st.ArcRSD = math.Sqrt(variance) / mean
+	}
+	return st
+}
+
+// String renders the stats compactly. Arc fields appear only when populated
+// (ComputeStatsOn).
 func (s Stats) String() string {
-	return fmt.Sprintf("colors=%d sizes[min=%d avg=%.1f max=%d] rsd=%.3f",
+	out := fmt.Sprintf("colors=%d sizes[min=%d avg=%.1f max=%d] rsd=%.3f",
 		s.NumColors, s.MinSet, s.AvgSet, s.MaxSet, s.RSD)
+	if s.MaxArcs > 0 {
+		out += fmt.Sprintf(" arcs[min=%d avg=%.1f max=%d] arcrsd=%.3f",
+			s.MinArcs, s.AvgArcs, s.MaxArcs, s.ArcRSD)
+	}
+	return out
 }
 
 // load/store wrap atomic access to the shared tentative-color array; the
@@ -224,32 +274,45 @@ func ParallelDistance2(g *graph.Graph, p int) *Coloring {
 	for i := range worklist {
 		worklist[i] = int32(i)
 	}
+	// Per-worker flat color marks, reused (and kept grown) across chunks and
+	// rounds. Later rounds shrink the worklist, so this count always covers
+	// the loop's effective worker indices.
+	markers := make([]*par.Marker, par.Workers(p, n))
+	for w := range markers {
+		markers[w] = par.NewMarker(0)
+	}
 	rounds := 0
 	for len(worklist) > 0 {
 		rounds++
-		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
-			used := map[int32]bool{}
+		par.ForChunkWorker(len(worklist), p, 0, func(w, lo, hi int) {
+			used := markers[w]
 			for t := lo; t < hi; t++ {
 				i := worklist[t]
-				clear(used)
+				used.Reset()
+				mark := func(c int32) {
+					if int(c) >= used.Universe() {
+						used.Grow(int(c) + 2) // Grow preserves this epoch's marks
+					}
+					used.Set(c)
+				}
 				nbr, _ := g.Neighbors(int(i))
 				for _, j := range nbr {
 					if j != i {
 						if c := load(colors, j); c >= 0 {
-							used[c] = true
+							mark(c)
 						}
 					}
 					nbr2, _ := g.Neighbors(int(j))
 					for _, k := range nbr2 {
 						if k != i {
 							if c := load(colors, k); c >= 0 {
-								used[c] = true
+								mark(c)
 							}
 						}
 					}
 				}
 				c := int32(0)
-				for used[c] {
+				for int(c) < used.Universe() && used.Has(c) {
 					c++
 				}
 				store(colors, i, c)

@@ -109,10 +109,15 @@ func AnalyzeCommunities(g *graph.Graph, membership []int32, workers int) ([]Comm
 	return out, nil
 }
 
-// CommunitySizes returns the size of each community id present in the
-// membership, as a map.
-func CommunitySizes(membership []int32) map[int32]int {
-	out := make(map[int32]int)
+// CommunitySizes returns the size of each community as a dense slice
+// indexed by community id (length max id + 1; ids absent from the
+// membership count 0). Community ids must be non-negative, as Run and
+// AnalyzeCommunities already guarantee. Returns nil for an empty membership.
+func CommunitySizes(membership []int32) []int {
+	if len(membership) == 0 {
+		return nil
+	}
+	out := make([]int, int(maxInt32(membership))+1)
 	for _, c := range membership {
 		out[c]++
 	}

@@ -122,7 +122,15 @@ func TestAnalyzeCommunitiesErrors(t *testing.T) {
 
 func TestCommunitySizes(t *testing.T) {
 	sizes := CommunitySizes([]int32{0, 1, 1, 2, 2, 2})
-	if sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
+	if len(sizes) != 3 || sizes[0] != 1 || sizes[1] != 2 || sizes[2] != 3 {
 		t.Fatalf("%v", sizes)
+	}
+	// Gaps in the id space count 0; empty membership yields nil.
+	sizes = CommunitySizes([]int32{3, 3, 0})
+	if len(sizes) != 4 || sizes[0] != 1 || sizes[1] != 0 || sizes[2] != 0 || sizes[3] != 2 {
+		t.Fatalf("%v", sizes)
+	}
+	if CommunitySizes(nil) != nil {
+		t.Fatal("empty membership should return nil")
 	}
 }

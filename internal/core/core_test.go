@@ -115,14 +115,17 @@ func TestAllVariantsProduceValidPartitions(t *testing.T) {
 	for _, in := range []generate.Input{generate.CNR, generate.EuropeOSM, generate.MG1, generate.Channel} {
 		g := generate.MustGenerate(in, generate.Small, 0, 4)
 		variants := map[string]Options{
-			"baseline":  smallOpts(4),
-			"vf":        withVF(smallOpts(4)),
-			"vfcolor":   withColor(withVF(smallOpts(4))),
-			"color":     withColor(smallOpts(4)),
-			"balanced":  withBalanced(withColor(smallOpts(4))),
-			"distance2": withD2(withColor(smallOpts(4))),
-			"jp":        withJP(withColor(smallOpts(4))),
-			"chain":     withChain(withVF(smallOpts(4))),
+			"baseline":     smallOpts(4),
+			"vf":           withVF(smallOpts(4)),
+			"vfcolor":      withColor(withVF(smallOpts(4))),
+			"color":        withColor(smallOpts(4)),
+			"balanced":     withBalanced(withColor(smallOpts(4))),
+			"balanced-arc": withArcBalance(withColor(smallOpts(4))),
+			"balanced-d2":  withBalanced(withD2(withColor(smallOpts(4)))),
+			"arc-d2":       withArcBalance(withD2(withColor(smallOpts(4)))),
+			"distance2":    withD2(withColor(smallOpts(4))),
+			"jp":           withJP(withColor(smallOpts(4))),
+			"chain":        withChain(withVF(smallOpts(4))),
 		}
 		for name, o := range variants {
 			res := Run(g, o)
@@ -131,12 +134,13 @@ func TestAllVariantsProduceValidPartitions(t *testing.T) {
 	}
 }
 
-func withVF(o Options) Options       { o.VertexFollowing = true; return o }
-func withChain(o Options) Options    { o.VFChainCompression = true; return o }
-func withColor(o Options) Options    { o.Coloring = ColorMultiPhase; return o }
-func withBalanced(o Options) Options { o.BalancedColoring = true; return o }
-func withD2(o Options) Options       { o.Distance2Coloring = true; return o }
-func withJP(o Options) Options       { o.JonesPlassmann = true; return o }
+func withVF(o Options) Options         { o.VertexFollowing = true; return o }
+func withChain(o Options) Options      { o.VFChainCompression = true; return o }
+func withColor(o Options) Options      { o.Coloring = ColorMultiPhase; return o }
+func withBalanced(o Options) Options   { o.BalancedColoring = true; return o }
+func withArcBalance(o Options) Options { o.ColorBalance = BalanceArcs; return o }
+func withD2(o Options) Options         { o.Distance2Coloring = true; return o }
+func withJP(o Options) Options         { o.JonesPlassmann = true; return o }
 
 func validatePartition(t *testing.T, g *graph.Graph, res *Result, in generate.Input, name string) {
 	t.Helper()

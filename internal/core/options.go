@@ -25,6 +25,23 @@ const (
 	ColorMultiPhase
 )
 
+// ColorBalance selects whether (and by which load metric) color sets are
+// rebalanced after coloring — the paper's proposed fix for the uk-2002
+// color-set skew (§6.2).
+type ColorBalance int
+
+const (
+	// BalanceOff applies no rebalancing after coloring.
+	BalanceOff ColorBalance = iota
+	// BalanceVertices evens the per-color vertex counts (the balanced
+	// coloring as the paper frames it).
+	BalanceVertices
+	// BalanceArcs evens the per-color total ARC counts. The colored sweep's
+	// work is proportional to member arcs, not vertices, so this targets
+	// the actual straggler cost on hub-skewed inputs.
+	BalanceArcs
+)
+
 // Objective selects the quality function being optimized.
 type Objective int
 
@@ -58,8 +75,16 @@ type Options struct {
 	// Coloring selects the coloring policy.
 	Coloring ColoringMode
 
-	// BalancedColoring rebalances color-set sizes after coloring (the
-	// paper's proposed fix for the uk-2002 skew, §6.2).
+	// ColorBalance rebalances color-set loads after coloring (the paper's
+	// proposed fix for the uk-2002 skew, §6.2): off, per-set vertex counts,
+	// or per-set total arc counts. The rebalancer respects the coloring
+	// distance, so it composes with Distance2Coloring.
+	ColorBalance ColorBalance
+
+	// BalancedColoring is the legacy switch for vertex-count rebalancing.
+	//
+	// Deprecated: set ColorBalance to BalanceVertices instead. When set and
+	// ColorBalance is BalanceOff, Defaults maps it to BalanceVertices.
 	BalancedColoring bool
 
 	// Distance2Coloring uses distance-2 instead of distance-1 coloring
@@ -141,6 +166,9 @@ func (o Options) Defaults() Options {
 	if o.Resolution <= 0 {
 		o.Resolution = 1
 	}
+	if o.BalancedColoring && o.ColorBalance == BalanceOff {
+		o.ColorBalance = BalanceVertices
+	}
 	return o
 }
 
@@ -200,9 +228,13 @@ type PhaseStats struct {
 	Modularity []float64
 	Colored    bool
 	NumColors  int
-	// ColorSetRSD is the relative standard deviation of color-set sizes
+	// ColorSetRSD is the relative standard deviation of color-set vertex
+	// counts (meaningful only when Colored).
+	ColorSetRSD float64
+	// ColorArcRSD is the relative standard deviation of color-set total
+	// arc counts — the §6.2 skew metric weighted by actual sweep work
 	// (meaningful only when Colored).
-	ColorSetRSD  float64
+	ColorArcRSD  float64
 	ColoringTime time.Duration
 	ClusterTime  time.Duration
 	RebuildTime  time.Duration

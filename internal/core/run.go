@@ -80,7 +80,7 @@ func Run(g *graph.Graph, opts Options) *Result {
 		}
 		var cs *coloring.Coloring
 		var colorTime time.Duration
-		var colorRSD float64
+		var colorRSD, colorArcRSD float64
 		if colored {
 			t0 := time.Now()
 			switch {
@@ -91,11 +91,23 @@ func Run(g *graph.Graph, opts Options) *Result {
 			default:
 				cs = coloring.Parallel(cur, workers)
 			}
-			if opts.BalancedColoring {
-				cs = coloring.Balanced(cur, cs, workers)
+			if opts.ColorBalance != BalanceOff {
+				by := coloring.BalanceByVertices
+				if opts.ColorBalance == BalanceArcs {
+					by = coloring.BalanceByArcs
+				}
+				// The rebalancer must honor the base coloring's distance:
+				// moving a vertex of a distance-2 coloring while checking
+				// only distance-1 neighbors silently breaks the invariant.
+				cs = coloring.Rebalance(cur, cs, coloring.RebalanceOptions{
+					Workers:   workers,
+					By:        by,
+					Distance2: opts.Distance2Coloring,
+				})
 			}
 			colorTime = time.Since(t0)
-			colorRSD = cs.ComputeStats().RSD
+			st := cs.ComputeStatsOn(cur)
+			colorRSD, colorArcRSD = st.RSD, st.ArcRSD
 		}
 		threshold := opts.FinalThreshold
 		if colored {
@@ -110,6 +122,7 @@ func Run(g *graph.Graph, opts Options) *Result {
 		if cs != nil {
 			stats.NumColors = cs.NumColors
 			stats.ColorSetRSD = colorRSD
+			stats.ColorArcRSD = colorArcRSD
 		}
 		stats.ColoringTime = colorTime
 

@@ -111,6 +111,14 @@ func (m *Maintainer) FullRuns() int { return m.fullRuns }
 func (m *Maintainer) BatchApplies() int { return m.batchApplies }
 
 // Modularity recomputes Eq. (3) on the live overlay.
+//
+// Self-loop convention (audited against seq.Modularity on Snapshot()): a
+// self-loop is stored once in its owner's adjacency map, counted once in
+// the vertex degree and once in `within`, while a non-loop edge appears in
+// both endpoints' maps and is therefore counted twice — exactly the CSR
+// convention of package graph (k_i = row sum, 2m = Σ k_i), so the overlay
+// score matches the reference implementation bit-for-bit on streams with
+// self-loops. TestSelfLoopStreamMatchesReference pins this.
 func (m *Maintainer) Modularity() float64 {
 	if m.m2 == 0 {
 		return 0

@@ -154,6 +154,75 @@ func TestSelfLoopInsertion(t *testing.T) {
 	}
 }
 
+// TestSelfLoopStreamMatchesReference audits the overlay's self-loop weight
+// convention end to end: a self-loop is stored once, counted once in the
+// degree and once in `within`, while non-loop edges are counted twice via
+// the two overlay directions — the same convention as graph's CSR and
+// seq.Modularity. The stream exercises initial self-loops, self-loops on
+// existing and brand-new vertices, and both Flush paths (incremental
+// local-move and full re-run), cross-checking the overlay score and its
+// degree bookkeeping against a fresh Snapshot after every stage.
+func TestSelfLoopStreamMatchesReference(t *testing.T) {
+	b := graph.NewBuilder(6)
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			b.AddEdge(int32(i), int32(j), 1)
+		}
+	}
+	b.AddEdge(1, 1, 2.5) // self-loop in the seed graph
+	b.AddEdge(4, 5, 1)
+	g := b.Build(2)
+
+	check := func(m *Maintainer, stage string) {
+		t.Helper()
+		got, want := m.Modularity(), m.Quality()
+		if math.Abs(got-want) > 1e-12 {
+			t.Fatalf("%s: overlay Q=%v != snapshot Q=%v (diff %g)", stage, got, want, got-want)
+		}
+		snap := m.Snapshot()
+		if math.Abs(m.m2-snap.TotalWeight()) > 1e-9 {
+			t.Fatalf("%s: overlay 2m=%v != snapshot %v", stage, m.m2, snap.TotalWeight())
+		}
+		commDeg := make([]float64, m.N())
+		for i := 0; i < m.N(); i++ {
+			if math.Abs(m.degree[i]-snap.Degree(i)) > 1e-9 {
+				t.Fatalf("%s: degree[%d]=%v != snapshot %v", stage, i, m.degree[i], snap.Degree(i))
+			}
+			commDeg[m.comm[i]] += m.degree[i]
+		}
+		for c := range commDeg {
+			if math.Abs(commDeg[c]-m.commDeg[c]) > 1e-9 {
+				t.Fatalf("%s: commDeg[%d]=%v, recomputed %v", stage, c, m.commDeg[c], commDeg[c])
+			}
+		}
+	}
+
+	// RefreshFraction 0.99 keeps Flush on the incremental local-move path.
+	m := New(g, Options{Full: smallFull(), BatchSize: 100, RefreshFraction: 0.99})
+	check(m, "initial (seed self-loop)")
+
+	m.AddEdge(0, 0, 3) // self-loop on an existing vertex
+	m.AddEdge(2, 2, 1.5)
+	m.AddEdge(7, 7, 4) // self-loop on a brand-new vertex (grows past id 6)
+	m.AddEdge(7, 0, 1)
+	m.Flush()
+	if m.FullRuns() != 1 {
+		t.Fatalf("expected the incremental path, fullRuns=%d", m.FullRuns())
+	}
+	check(m, "incremental batch with self-loops")
+
+	// A second maintainer with a tiny refresh fraction forces the full
+	// re-run path on the same self-loop stream.
+	mf := New(g, Options{Full: smallFull(), BatchSize: 100, RefreshFraction: 1e-9})
+	mf.AddEdge(0, 0, 3)
+	mf.AddEdge(7, 7, 4)
+	mf.Flush()
+	if mf.FullRuns() != 2 {
+		t.Fatalf("expected a full re-run, fullRuns=%d", mf.FullRuns())
+	}
+	check(mf, "full-rerun batch with self-loops")
+}
+
 func TestEmptyStart(t *testing.T) {
 	m := New(graph.NewBuilder(0).Build(1), Options{Full: smallFull(), BatchSize: 4, RefreshFraction: 10})
 	if m.Modularity() != 0 {

@@ -1,0 +1,50 @@
+package harness
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+func TestColorSkewStudy(t *testing.T) {
+	rows, err := ColorSkew(testOpts(), []generate.Input{generate.UK2002, generate.CNR})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("got %d rows", len(rows))
+	}
+	for _, r := range rows {
+		if r.Colors < 2 {
+			t.Fatalf("%s: %d colors", r.Input, r.Colors)
+		}
+		if r.Vertex.RSD > r.Base.RSD+1e-9 {
+			t.Fatalf("%s: vertex balancing raised vertex RSD %.4f -> %.4f",
+				r.Input, r.Base.RSD, r.Vertex.RSD)
+		}
+		if r.Arc.ArcRSD > r.Base.ArcRSD+1e-9 {
+			t.Fatalf("%s: arc balancing raised arc RSD %.4f -> %.4f",
+				r.Input, r.Base.ArcRSD, r.Arc.ArcRSD)
+		}
+		// Each mode should win (or tie) on its own metric.
+		if r.Arc.ArcRSD > r.Vertex.ArcRSD+1e-9 {
+			t.Fatalf("%s: arc mode ArcRSD %.4f above vertex mode %.4f",
+				r.Input, r.Arc.ArcRSD, r.Vertex.ArcRSD)
+		}
+	}
+	var buf bytes.Buffer
+	WriteColorSkew(&buf, rows)
+	if !strings.Contains(buf.String(), "arc-balanced") {
+		t.Fatal("text writer missing header")
+	}
+	buf.Reset()
+	if err := WriteColorSkewCSV(&buf, rows); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "input,colors,base_rsd") {
+		t.Fatalf("csv output: %q", buf.String())
+	}
+}

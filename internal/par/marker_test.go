@@ -1,0 +1,55 @@
+package par
+
+import "testing"
+
+func TestMarkerSetResetGrow(t *testing.T) {
+	m := NewMarker(4)
+	if m.Universe() != 4 {
+		t.Fatalf("universe %d", m.Universe())
+	}
+	m.Set(1)
+	m.Set(3)
+	if !m.Has(1) || !m.Has(3) || m.Has(0) || m.Has(2) {
+		t.Fatal("membership wrong after Set")
+	}
+	m.Reset()
+	for k := int32(0); k < 4; k++ {
+		if m.Has(k) {
+			t.Fatalf("key %d survived Reset", k)
+		}
+	}
+	m.Set(2)
+	m.Grow(8)
+	if m.Universe() != 8 {
+		t.Fatalf("universe %d after Grow", m.Universe())
+	}
+	if !m.Has(2) {
+		t.Fatal("Grow dropped an existing mark")
+	}
+	for k := int32(4); k < 8; k++ {
+		if m.Has(k) {
+			t.Fatalf("new slot %d born marked", k)
+		}
+	}
+	m.Grow(2) // shrink request is a no-op
+	if m.Universe() != 8 {
+		t.Fatalf("universe %d after no-op Grow", m.Universe())
+	}
+	if NewMarker(-1).Universe() != 0 {
+		t.Fatal("negative universe not clamped")
+	}
+}
+
+func TestMarkerGenerationWrap(t *testing.T) {
+	m := NewMarker(2)
+	m.Set(0)
+	m.gen = 1<<31 - 1 // force the exhaustion path on the next Reset
+	m.Reset()
+	if m.Has(0) || m.Has(1) {
+		t.Fatal("marks survived generation wrap")
+	}
+	m.Set(1)
+	if !m.Has(1) || m.Has(0) {
+		t.Fatal("marker broken after wrap")
+	}
+}

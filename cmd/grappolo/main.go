@@ -43,7 +43,7 @@ func run(args []string) error {
 		workers   = fs.Int("workers", 0, "worker count (0 = all CPUs)")
 		threshold = fs.Float64("threshold", 0, "final modularity-gain threshold (0 = default 1e-6)")
 		cutoff    = fs.Int("color-cutoff", 0, "coloring vertex cutoff (0 = default 100000)")
-		balance   = fs.String("balance", "off", "color-set rebalancing: off | vertex | arc (§6.2 balanced coloring)")
+		balance   = fs.String("balance", "off", "color-set rebalancing: off | vertex | arc | auto (§6.2 balanced coloring; auto applies arc mode only when the measured arc-load skew warrants it)")
 		objective = fs.String("objective", "modularity", "quality function: modularity | cpm")
 		cpmGamma  = fs.Float64("cpm-gamma", 0.5, "CPM resolution parameter (with -objective cpm)")
 		stats     = fs.Bool("stats", false, "print input degree statistics (Table 1 row)")
@@ -92,8 +92,10 @@ func run(args []string) error {
 			opts.ColorBalance = core.BalanceVertices
 		case "arc":
 			opts.ColorBalance = core.BalanceArcs
+		case "auto":
+			opts.ColorBalance = core.BalanceAuto
 		default:
-			return fmt.Errorf("unknown balance mode %q (off|vertex|arc)", *balance)
+			return fmt.Errorf("unknown balance mode %q (off|vertex|arc|auto)", *balance)
 		}
 		opts.KeepHierarchy = *hierarchy
 		switch *objective {
@@ -108,7 +110,12 @@ func run(args []string) error {
 		default:
 			return fmt.Errorf("unknown objective %q (modularity|cpm)", *objective)
 		}
-		res := core.Run(g, opts)
+		// The CLI runs once per process, so this engine is used a single
+		// time; it exists so the CLI exercises the same Engine pipeline the
+		// pooled consumers run, and so a future serve/watch mode inherits
+		// scratch reuse for free.
+		eng := core.NewEngine(opts)
+		res := eng.Run(g)
 		membership, modularity = res.Membership, res.Modularity
 		fmt.Printf("grappolo (%s): n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
 			*variant, g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,

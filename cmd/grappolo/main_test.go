@@ -57,7 +57,7 @@ func TestRunCompareMode(t *testing.T) {
 
 func TestRunBalanceModes(t *testing.T) {
 	path := writeTempGraph(t)
-	for _, mode := range []string{"off", "vertex", "arc"} {
+	for _, mode := range []string{"off", "vertex", "arc", "auto"} {
 		if err := run([]string{"-file", path, "-variant", "vfcolor", "-color-cutoff", "1", "-balance", mode, "-q"}); err != nil {
 			t.Fatalf("balance %s: %v", mode, err)
 		}

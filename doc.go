@@ -35,6 +35,37 @@
 // skewed inputs cannot serialize a sweep. First-touch key order equals the
 // old map-insertion order, keeping all deterministic paths bit-identical.
 //
+// # Reusable Engine and scratch ownership
+//
+// core.Run is a thin wrapper over core.Engine, the reusable pipeline: an
+// Engine owns every mutable scratch buffer the run needs — the phase working
+// set and per-worker decide accumulators, the rebuild counting-sort buffers,
+// row accumulators and staging arenas, the renumbering and CPM node-size
+// buffers, the coloring scratch (worklists, flat markers, set storage via
+// coloring.Scratch), and one pooled coarse-graph slot per rebuild depth
+// (graph.FromCSRInto recycles the CSR arrays and Graph header in place).
+// Everything is sized by high-water mark and recycled across phases and
+// across Run calls, so the second run on a same-shaped graph performs zero
+// scratch allocations; Engine.RunInto additionally recycles the Result,
+// making warm re-runs allocate nothing at all (pinned by
+// TestEngineRunSteadyStateZeroAllocs and BenchmarkEngineReuse).
+//
+// Ownership rules: hold ONE Engine per sequence of same-configuration runs
+// (dynamic overlays re-detecting per flush, harness repeat sweeps, services
+// answering clustering requests back to back) and let it grow to the largest
+// graph it serves; re-create the engine only to change Options or to release
+// the pooled memory. An Engine is not safe for concurrent Run calls — give
+// each worker goroutine its own. Results returned by Run are independent of
+// the engine; results passed back into RunInto are overwritten.
+//
+// The zero-alloc guarantee leans on two conventions enforced throughout the
+// hot paths: loop bodies are package-level captureless functions receiving
+// their state as an explicit context argument (par.ForChunkCtx and friends —
+// a capturing closure heap-allocates at every call site because the body
+// parameter escapes into the worker goroutines), and contexts larger than
+// 128 bytes are passed by pointer to pooled storage (Go captures bigger
+// values by reference, which would heap-move them per call).
+//
 // # Arc-balanced coloring
 //
 // The paper blames uk-2002's poor speedup on skewed color-set sizes (943
@@ -46,13 +77,18 @@
 // vertex mode evens per-set vertex counts, arc mode evens per-set total ARC
 // counts — the metric the colored sweep's work is actually proportional to,
 // so one arc-heavy straggler set cannot serialize a sweep that looks
-// balanced by vertex count. The rebalancer honors the base coloring's
-// distance (a distance-2 coloring is repaired against distance-2
-// neighborhoods), never increases the color count, is deterministic for any
-// worker count, and its per-round load RSD is non-increasing.
-// coloring.Stats and core.PhaseStats report both the vertex-count and
-// arc-count RSDs (harness.ColorSkew / benchtables -colorskew tabulate
-// them).
+// balanced by vertex count — and auto mode (BalanceAuto, -balance auto)
+// measures the base coloring's ArcRSD each phase and applies the arc repair
+// only when it exceeds Options.AutoBalanceArcRSD. When a phase's sets were
+// arc-rebalanced the colored sweep consumes them directly: the per-set arc
+// prefix sums and binary-search chunking are skipped because the sets are
+// even by construction. The rebalancer honors the base coloring's distance
+// (a distance-2 coloring is repaired against distance-2 neighborhoods),
+// never increases the color count, is deterministic for any worker count,
+// and its per-round load RSD is non-increasing. coloring.Stats and
+// core.PhaseStats report both the vertex-count and arc-count RSDs
+// (harness.ColorSkew / benchtables -colorskew tabulate them, along with the
+// mode auto would pick).
 //
 // Executables: cmd/grappolo (CLI), cmd/graphgen (input generator),
 // cmd/benchtables (regenerates every table and figure of the paper).

@@ -38,6 +38,11 @@ type RebalanceOptions struct {
 	// MaxRounds caps the speculative rounds (<= 0: 32). The repair converges
 	// when a round commits no move, typically long before the cap.
 	MaxRounds int
+	// Scratch, when non-nil, supplies every working buffer including the
+	// returned Coloring's storage (see Scratch for ownership rules). Use a
+	// Scratch distinct from the base coloring's: the result must not clobber
+	// the base colors it reads.
+	Scratch *Scratch
 }
 
 // Balanced rebalances an existing distance-1 coloring so that color-set
@@ -74,33 +79,39 @@ func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 	if n == 0 || base.NumColors <= 1 {
 		return base
 	}
+	s := o.Scratch
+	if s == nil {
+		s = NewScratch()
+	}
 	k := base.NumColors
 	maxRounds := o.MaxRounds
 	if maxRounds <= 0 {
 		maxRounds = 32
 	}
-	colors := make([]int32, n)
+	colors := par.Resize(s.rbColors, n)
+	s.rbColors = colors
 	copy(colors, base.Colors)
 	offsets := g.ArcOffsets()
-	weight := func(v int) int64 {
-		if o.By == BalanceByArcs {
-			return offsets[v+1] - offsets[v]
-		}
-		return 1
-	}
 
 	// Per-worker load histograms merged in worker order: cheap and
-	// deterministic.
+	// deterministic. The histograms are arena-carved (their count varies with
+	// the worker count, their size with k) and recycled on the next call.
 	nw := par.Workers(o.Workers, n)
-	partial := make([][]int64, nw)
-	par.ForStatic(n, o.Workers, func(w, lo, hi int) {
-		h := make([]int64, k)
-		for v := lo; v < hi; v++ {
-			h[colors[v]] += weight(v)
-		}
-		partial[w] = h
-	})
-	loads := make([]int64, k)
+	s.arena.Reset()
+	partial := par.Resize(s.hist, nw)
+	s.hist = partial
+	for w := range partial {
+		partial[w] = s.arena.Int64(k)
+	}
+	hctx := &s.rbc
+	*hctx = rebalCtx{g: g, colors: colors, offsets: offsets, hist: partial,
+		byArcs: o.By == BalanceByArcs}
+	par.ForStaticCtx(hctx, n, o.Workers, histogramPhase)
+	loads := par.Resize(s.loads, k)
+	s.loads = loads
+	for c := range loads {
+		loads[c] = 0
+	}
 	var total int64
 	for _, h := range partial {
 		for c, v := range h {
@@ -112,14 +123,19 @@ func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 	}
 	target := (total + int64(k) - 1) / int64(k)
 
-	proposed := make([]int32, n)
-	dropped := make([]bool, n)
-	order := make([]int32, k) // colors sorted by ascending load each round
-	markers := make([]*par.Marker, nw)
-	for w := range markers {
-		markers[w] = par.NewMarker(k)
-	}
+	proposed := par.Resize(s.proposed, n)
+	s.proposed = proposed
+	dropped := par.Resize(s.dropped, n)
+	s.dropped = dropped
+	order := par.Resize(s.order, k) // colors sorted by ascending load each round
+	s.order = order
+	markers := s.growMarkers(nw, k)
 
+	ctx := &s.rbc
+	*ctx = rebalCtx{g: g, colors: colors, proposed: proposed, dropped: dropped,
+		order: order, loads: loads, offsets: offsets, markers: markers,
+		target: target, k: k, byArcs: o.By == BalanceByArcs,
+		distance2: o.Distance2}
 	for round := 0; round < maxRounds; round++ {
 		for c := range order {
 			order[c] = int32(c)
@@ -130,93 +146,12 @@ func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 		// loads, so the outcome is schedule-independent. Chunks are balanced
 		// by arc count: the neighborhood scans dominate and hub vertices
 		// must not serialize the sweep.
-		par.ForChunkPrefix(offsets, o.Workers, func(w, lo, hi int) {
-			mk := markers[w]
-			for v := lo; v < hi; v++ {
-				proposed[v] = -1
-				c := colors[v]
-				wv := weight(v)
-				if wv == 0 || loads[c] <= target {
-					continue
-				}
-				mk.Reset()
-				nbr, _ := g.Neighbors(v)
-				for _, j := range nbr {
-					if int(j) == v {
-						continue
-					}
-					mk.Set(colors[j])
-					if o.Distance2 {
-						nbr2, _ := g.Neighbors(int(j))
-						for _, u := range nbr2 {
-							if int(u) != v {
-								mk.Set(colors[u])
-							}
-						}
-					}
-				}
-				// Improving targets form a prefix of the ascending-load
-				// order: every cc with loads[cc]+wv < loads[c] (c itself can
-				// never qualify). Scanning that prefix from an id-derived
-				// offset instead of always from the front spreads one round's
-				// proposals across ALL improving colors — starting everyone
-				// at the least-loaded color would funnel the round into one
-				// or two targets and both slow convergence and maximize
-				// same-color conflicts between neighbors.
-				lim := loads[c] - wv
-				lo, hi := 0, k
-				for lo < hi {
-					mid := int(uint(lo+hi) >> 1)
-					if loads[order[mid]] < lim {
-						lo = mid + 1
-					} else {
-						hi = mid
-					}
-				}
-				if lo == 0 {
-					continue
-				}
-				start := v % lo
-				for t := 0; t < lo; t++ {
-					cc := order[(start+t)%lo]
-					if !mk.Has(cc) {
-						proposed[v] = cc
-						break
-					}
-				}
-			}
-		})
+		par.ForChunkPrefixCtx(ctx, offsets, o.Workers, proposePhase)
 
 		// Phase 2: conflict resolution. Two conflicting vertices (adjacent,
 		// or within distance 2 in Distance2 mode) proposing the same color
 		// would break validity if both committed; the lower id wins.
-		par.ForChunkPrefix(offsets, o.Workers, func(_, lo, hi int) {
-			for v := lo; v < hi; v++ {
-				pv := proposed[v]
-				if pv < 0 {
-					continue
-				}
-				conflict := false
-				nbr, _ := g.Neighbors(v)
-			scan:
-				for _, j := range nbr {
-					if int(j) != v && proposed[j] == pv && int(j) < v {
-						conflict = true
-						break
-					}
-					if o.Distance2 {
-						nbr2, _ := g.Neighbors(int(j))
-						for _, u := range nbr2 {
-							if int(u) != v && proposed[u] == pv && int(u) < v {
-								conflict = true
-								break scan
-							}
-						}
-					}
-				}
-				dropped[v] = conflict
-			}
-		})
+		par.ForChunkPrefixCtx(ctx, offsets, o.Workers, resolvePhase)
 
 		// Phase 3: serial commit in vertex order against live loads. Cheap
 		// (no arc traffic) and deterministic; the re-check keeps every
@@ -229,7 +164,7 @@ func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 				continue
 			}
 			c := colors[v]
-			wv := weight(v)
+			wv := ctx.weight(v)
 			if loads[cc]+wv < loads[c] {
 				loads[c] -= wv
 				loads[cc] += wv
@@ -241,7 +176,126 @@ func Rebalance(g *graph.Graph, base *Coloring, o RebalanceOptions) *Coloring {
 			break
 		}
 	}
-	return assemble(colors, k, base.Rounds)
+	s.rbc = rebalCtx{} // drop graph/slice references until the next kernel call
+	return assembleInto(s, colors, k, base.Rounds)
+}
+
+// rebalCtx carries one rebalance round's state into the captureless loop
+// bodies, passed by pointer (see par.ForChunkWorkerCtx and Scratch for why
+// capturing closures and large by-value contexts are avoided on the
+// pooled-engine path).
+type rebalCtx struct {
+	g         *graph.Graph
+	colors    []int32
+	proposed  []int32
+	dropped   []bool
+	order     []int32
+	loads     []int64
+	offsets   []int64
+	markers   []*par.Marker
+	hist      [][]int64
+	target    int64
+	k         int
+	byArcs    bool
+	distance2 bool
+}
+
+func (c *rebalCtx) weight(v int) int64 {
+	if c.byArcs {
+		return c.offsets[v+1] - c.offsets[v]
+	}
+	return 1
+}
+
+func histogramPhase(c *rebalCtx, w, lo, hi int) {
+	h := c.hist[w]
+	for v := lo; v < hi; v++ {
+		h[c.colors[v]] += c.weight(v)
+	}
+}
+
+func proposePhase(c *rebalCtx, w, lo, hi int) {
+	mk := c.markers[w]
+	for v := lo; v < hi; v++ {
+		c.proposed[v] = -1
+		cv := c.colors[v]
+		wv := c.weight(v)
+		if wv == 0 || c.loads[cv] <= c.target {
+			continue
+		}
+		mk.Reset()
+		nbr, _ := c.g.Neighbors(v)
+		for _, j := range nbr {
+			if int(j) == v {
+				continue
+			}
+			mk.Set(c.colors[j])
+			if c.distance2 {
+				nbr2, _ := c.g.Neighbors(int(j))
+				for _, u := range nbr2 {
+					if int(u) != v {
+						mk.Set(c.colors[u])
+					}
+				}
+			}
+		}
+		// Improving targets form a prefix of the ascending-load order: every
+		// cc with loads[cc]+wv < loads[cv] (cv itself can never qualify).
+		// Scanning that prefix from an id-derived offset instead of always
+		// from the front spreads one round's proposals across ALL improving
+		// colors — starting everyone at the least-loaded color would funnel
+		// the round into one or two targets and both slow convergence and
+		// maximize same-color conflicts between neighbors.
+		lim := c.loads[cv] - wv
+		lo2, hi2 := 0, c.k
+		for lo2 < hi2 {
+			mid := int(uint(lo2+hi2) >> 1)
+			if c.loads[c.order[mid]] < lim {
+				lo2 = mid + 1
+			} else {
+				hi2 = mid
+			}
+		}
+		if lo2 == 0 {
+			continue
+		}
+		start := v % lo2
+		for t := 0; t < lo2; t++ {
+			cc := c.order[(start+t)%lo2]
+			if !mk.Has(cc) {
+				c.proposed[v] = cc
+				break
+			}
+		}
+	}
+}
+
+func resolvePhase(c *rebalCtx, _, lo, hi int) {
+	for v := lo; v < hi; v++ {
+		pv := c.proposed[v]
+		if pv < 0 {
+			continue
+		}
+		conflict := false
+		nbr, _ := c.g.Neighbors(v)
+	scan:
+		for _, j := range nbr {
+			if int(j) != v && c.proposed[j] == pv && int(j) < v {
+				conflict = true
+				break
+			}
+			if c.distance2 {
+				nbr2, _ := c.g.Neighbors(int(j))
+				for _, u := range nbr2 {
+					if int(u) != v && c.proposed[u] == pv && int(u) < v {
+						conflict = true
+						break scan
+					}
+				}
+			}
+		}
+		c.dropped[v] = conflict
+	}
 }
 
 // sortByLoad sorts color ids by ascending load, breaking ties by id so the

@@ -177,71 +177,47 @@ func Greedy(g *graph.Graph) *Coloring {
 // rounds. The result is a valid coloring for any schedule; the exact colors
 // may vary with p (as the paper notes for its coloring-dependent outputs).
 func Parallel(g *graph.Graph, p int) *Coloring {
+	return ParallelWith(g, p, nil)
+}
+
+// ParallelWith is Parallel drawing every working buffer — including the
+// returned Coloring's storage — from s (see Scratch for ownership rules).
+// A nil s allocates a private scratch, making it equivalent to Parallel.
+func ParallelWith(g *graph.Graph, p int, s *Scratch) *Coloring {
+	if s == nil {
+		s = NewScratch()
+	}
 	n := g.N()
-	colors := make([]int32, n)
+	colors := par.Resize(s.colors, n)
+	s.colors = colors
 	for i := range colors {
 		colors[i] = -1
 	}
-	worklist := make([]int32, n)
+	worklist := par.Resize(s.worklist, n)
+	s.worklist = worklist
 	for i := range worklist {
 		worklist[i] = int32(i)
 	}
+	conflictFlags := par.Resize(s.conflicts, n)
+	s.conflicts = conflictFlags
+	markers := s.growMarkers(par.Workers(p, n), 0)
 	rounds := 0
 	for len(worklist) > 0 {
 		rounds++
+		ctx := &s.spc
+		*ctx = specCtx{g: g, colors: colors, worklist: worklist,
+			markers: markers, flags: conflictFlags[:len(worklist)]}
 		// Phase 1: speculative tentative coloring of every worklist vertex.
-		// Neighbor colors move under our feet (by design); the bound checks
-		// below tolerate colors that grew after the mark array was sized.
-		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
-			var mark []bool
-			for t := lo; t < hi; t++ {
-				i := worklist[t]
-				nbr, _ := g.Neighbors(int(i))
-				need := 0
-				for _, j := range nbr {
-					if c := int(load(colors, j)); c > need {
-						need = c
-					}
-				}
-				if len(mark) < need+2 {
-					mark = make([]bool, need+2)
-				}
-				use := mark[:need+2]
-				for t2 := range use {
-					use[t2] = false
-				}
-				for _, j := range nbr {
-					if j != i {
-						if c := load(colors, j); c >= 0 && int(c) < len(use) {
-							use[c] = true
-						}
-					}
-				}
-				c := int32(0)
-				for int(c) < len(use) && use[c] {
-					c++
-				}
-				store(colors, i, c)
-			}
-		})
+		// Neighbor colors move under our feet (by design); each worker marks
+		// whatever colors it observes in its flat generation-stamped marker
+		// and takes the smallest unmarked one.
+		par.ForChunkWorkerCtx(ctx, len(worklist), p, 0, speculatePhase)
 		// Phase 2: conflict detection. Colors are stable during this phase;
 		// of two adjacent same-colored vertices the higher id loses and is
 		// recolored next round.
-		conflictFlags := make([]bool, len(worklist))
-		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
-			for t := lo; t < hi; t++ {
-				i := worklist[t]
-				nbr, _ := g.Neighbors(int(i))
-				for _, j := range nbr {
-					if j != i && colors[j] == colors[i] && i > j {
-						conflictFlags[t] = true
-						break
-					}
-				}
-			}
-		})
+		par.ForChunkCtx(ctx, len(worklist), p, 0, conflictPhase)
 		next := worklist[:0]
-		for t, f := range conflictFlags {
+		for t, f := range ctx.flags {
 			if f {
 				next = append(next, worklist[t])
 			}
@@ -251,13 +227,65 @@ func Parallel(g *graph.Graph, p int) *Coloring {
 		}
 		worklist = next
 	}
+	s.spc = specCtx{} // drop graph/slice references until the next kernel call
 	numColors := 0
 	for _, c := range colors {
 		if int(c)+1 > numColors {
 			numColors = int(c) + 1
 		}
 	}
-	return assemble(colors, numColors, rounds)
+	return assembleInto(s, colors, numColors, rounds)
+}
+
+// specCtx carries one speculative round's state into the captureless loop
+// bodies, passed by pointer (see par.ForChunkWorkerCtx and the Scratch field
+// comment: capturing closures — or by-value contexts over 128 bytes — would
+// heap-allocate at every round even on a single worker).
+type specCtx struct {
+	g        *graph.Graph
+	colors   []int32
+	worklist []int32
+	markers  []*par.Marker
+	flags    []bool
+}
+
+func speculatePhase(c *specCtx, w, lo, hi int) {
+	used := c.markers[w]
+	for t := lo; t < hi; t++ {
+		i := c.worklist[t]
+		used.Reset()
+		nbr, _ := c.g.Neighbors(int(i))
+		for _, j := range nbr {
+			if j != i {
+				if cc := load(c.colors, j); cc >= 0 {
+					if int(cc) >= used.Universe() {
+						used.Grow(int(cc) + 2) // Grow preserves this epoch's marks
+					}
+					used.Set(cc)
+				}
+			}
+		}
+		cc := int32(0)
+		for int(cc) < used.Universe() && used.Has(cc) {
+			cc++
+		}
+		store(c.colors, i, cc)
+	}
+}
+
+func conflictPhase(c *specCtx, lo, hi int) {
+	for t := lo; t < hi; t++ {
+		i := c.worklist[t]
+		conflict := false
+		nbr, _ := c.g.Neighbors(int(i))
+		for _, j := range nbr {
+			if j != i && c.colors[j] == c.colors[i] && i > j {
+				conflict = true
+				break
+			}
+		}
+		c.flags[t] = conflict
+	}
 }
 
 // ParallelDistance2 computes a distance-2 coloring (no vertex shares a color
@@ -265,85 +293,43 @@ func Parallel(g *graph.Graph, p int) *Coloring {
 // paper (§5.2) discusses distance-k coloring as a stricter variant; it is
 // exposed for ablation studies.
 func ParallelDistance2(g *graph.Graph, p int) *Coloring {
+	return ParallelDistance2With(g, p, nil)
+}
+
+// ParallelDistance2With is ParallelDistance2 drawing every working buffer
+// from s (see Scratch for ownership rules); nil s allocates a private one.
+func ParallelDistance2With(g *graph.Graph, p int, s *Scratch) *Coloring {
+	if s == nil {
+		s = NewScratch()
+	}
 	n := g.N()
-	colors := make([]int32, n)
+	colors := par.Resize(s.colors, n)
+	s.colors = colors
 	for i := range colors {
 		colors[i] = -1
 	}
-	worklist := make([]int32, n)
+	worklist := par.Resize(s.worklist, n)
+	s.worklist = worklist
 	for i := range worklist {
 		worklist[i] = int32(i)
 	}
-	// Per-worker flat color marks, reused (and kept grown) across chunks and
-	// rounds. Later rounds shrink the worklist, so this count always covers
-	// the loop's effective worker indices.
-	markers := make([]*par.Marker, par.Workers(p, n))
-	for w := range markers {
-		markers[w] = par.NewMarker(0)
-	}
+	conflicts := par.Resize(s.conflicts, n)
+	s.conflicts = conflicts
+	// Per-worker flat color marks, reused (and kept grown) across chunks,
+	// rounds and — via the scratch — whole colorings. Later rounds shrink the
+	// worklist, so this count always covers the loop's effective worker
+	// indices.
+	markers := s.growMarkers(par.Workers(p, n), 0)
 	rounds := 0
 	for len(worklist) > 0 {
 		rounds++
-		par.ForChunkWorker(len(worklist), p, 0, func(w, lo, hi int) {
-			used := markers[w]
-			for t := lo; t < hi; t++ {
-				i := worklist[t]
-				used.Reset()
-				mark := func(c int32) {
-					if int(c) >= used.Universe() {
-						used.Grow(int(c) + 2) // Grow preserves this epoch's marks
-					}
-					used.Set(c)
-				}
-				nbr, _ := g.Neighbors(int(i))
-				for _, j := range nbr {
-					if j != i {
-						if c := load(colors, j); c >= 0 {
-							mark(c)
-						}
-					}
-					nbr2, _ := g.Neighbors(int(j))
-					for _, k := range nbr2 {
-						if k != i {
-							if c := load(colors, k); c >= 0 {
-								mark(c)
-							}
-						}
-					}
-				}
-				c := int32(0)
-				for int(c) < used.Universe() && used.Has(c) {
-					c++
-				}
-				store(colors, i, c)
-			}
-		})
-		conflictFlags := make([]bool, len(worklist))
-		par.ForChunk(len(worklist), p, 0, func(lo, hi int) {
-			for t := lo; t < hi; t++ {
-				i := worklist[t]
-				conflict := false
-				check := func(k int32) {
-					if k != i && colors[k] == colors[i] && i > k {
-						conflict = true
-					}
-				}
-				nbr, _ := g.Neighbors(int(i))
-				for _, j := range nbr {
-					if conflict {
-						break
-					}
-					check(j)
-					nbr2, _ := g.Neighbors(int(j))
-					for _, k := range nbr2 {
-						check(k)
-					}
-				}
-				conflictFlags[t] = conflict
-			}
-		})
+		ctx := &s.spc
+		*ctx = specCtx{g: g, colors: colors, worklist: worklist,
+			markers: markers, flags: conflicts[:len(worklist)]}
+		par.ForChunkWorkerCtx(ctx, len(worklist), p, 0, speculatePhase2)
+		par.ForChunkCtx(ctx, len(worklist), p, 0, conflictPhase2)
 		next := worklist[:0]
-		for t, f := range conflictFlags {
+		for t, f := range ctx.flags {
 			if f {
 				next = append(next, worklist[t])
 			}
@@ -353,13 +339,76 @@ func ParallelDistance2(g *graph.Graph, p int) *Coloring {
 		}
 		worklist = next
 	}
+	s.spc = specCtx{} // drop graph/slice references until the next kernel call
 	numColors := 0
 	for _, c := range colors {
 		if int(c)+1 > numColors {
 			numColors = int(c) + 1
 		}
 	}
-	return assemble(colors, numColors, rounds)
+	return assembleInto(s, colors, numColors, rounds)
+}
+
+// speculatePhase2 and conflictPhase2 are the distance-2 analogs of
+// speculatePhase/conflictPhase: they extend marking and conflict checks to
+// the two-hop neighborhood.
+func speculatePhase2(c *specCtx, w, lo, hi int) {
+	used := c.markers[w]
+	for t := lo; t < hi; t++ {
+		i := c.worklist[t]
+		used.Reset()
+		mark := func(cc int32) {
+			if int(cc) >= used.Universe() {
+				used.Grow(int(cc) + 2) // Grow preserves this epoch's marks
+			}
+			used.Set(cc)
+		}
+		nbr, _ := c.g.Neighbors(int(i))
+		for _, j := range nbr {
+			if j != i {
+				if cc := load(c.colors, j); cc >= 0 {
+					mark(cc)
+				}
+			}
+			nbr2, _ := c.g.Neighbors(int(j))
+			for _, k := range nbr2 {
+				if k != i {
+					if cc := load(c.colors, k); cc >= 0 {
+						mark(cc)
+					}
+				}
+			}
+		}
+		cc := int32(0)
+		for int(cc) < used.Universe() && used.Has(cc) {
+			cc++
+		}
+		store(c.colors, i, cc)
+	}
+}
+
+func conflictPhase2(c *specCtx, lo, hi int) {
+	for t := lo; t < hi; t++ {
+		i := c.worklist[t]
+		conflict := false
+		check := func(k int32) {
+			if k != i && c.colors[k] == c.colors[i] && i > k {
+				conflict = true
+			}
+		}
+		nbr, _ := c.g.Neighbors(int(i))
+		for _, j := range nbr {
+			if conflict {
+				break
+			}
+			check(j)
+			nbr2, _ := c.g.Neighbors(int(j))
+			for _, k := range nbr2 {
+				check(k)
+			}
+		}
+		c.flags[t] = conflict
+	}
 }
 
 // Verify checks that colors form a valid distance-1 coloring of g.
@@ -399,19 +448,4 @@ func VerifyDistance2(g *graph.Graph, colors []int32) error {
 		}
 	}
 	return nil
-}
-
-func assemble(colors []int32, numColors, rounds int) *Coloring {
-	sets := make([][]int32, numColors)
-	counts := make([]int, numColors)
-	for _, c := range colors {
-		counts[c]++
-	}
-	for c := range sets {
-		sets[c] = make([]int32, 0, counts[c])
-	}
-	for i, c := range colors {
-		sets[c] = append(sets[c], int32(i))
-	}
-	return &Coloring{Colors: colors, NumColors: numColors, Sets: sets, Rounds: rounds}
 }

@@ -20,87 +20,111 @@ func atomicAddJP(cell *int64, d int64) { atomic.AddInt64(cell, d) }
 //
 // The result is deterministic for a fixed seed regardless of worker count.
 func JonesPlassmann(g *graph.Graph, p int, seed uint64) *Coloring {
+	return JonesPlassmannWith(g, p, seed, nil)
+}
+
+// JonesPlassmannWith is JonesPlassmann drawing every working buffer from s
+// (see Scratch for ownership rules); nil s allocates a private one.
+func JonesPlassmannWith(g *graph.Graph, p int, seed uint64, s *Scratch) *Coloring {
+	if s == nil {
+		s = NewScratch()
+	}
 	n := g.N()
-	colors := make([]int32, n)
-	prio := make([]uint64, n)
-	rng := par.NewRNG(seed)
+	colors := par.Resize(s.colors, n)
+	s.colors = colors
+	prio := par.Resize(s.prio, n)
+	s.prio = prio
+	var rng par.RNG
+	rng.Seed(seed)
 	for i := range colors {
 		colors[i] = -1
 		// Tie-break by id (priorities are distinct with probability ~1, but
 		// equal draws must not deadlock): fold the id into the low bits.
 		prio[i] = (rng.Uint64() &^ 0xffffff) | uint64(i)
 	}
+	markers := s.growMarkers(par.Workers(p, n), 0)
 	remaining := int64(n)
 	rounds := 0
-	active := make([]bool, n) // vertices selected this round
+	active := par.Resize(s.active, n) // vertices selected this round
+	s.active = active
+	ctx := &s.jpc
+	*ctx = jpCtx{g: g, colors: colors, prio: prio, active: active,
+		markers: markers, colored: &s.coloredCount}
 	for remaining > 0 {
 		rounds++
 		// Select local maxima among uncolored vertices.
-		par.ForChunk(n, p, 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				active[i] = false
-				if colors[i] >= 0 {
-					continue
-				}
-				nbr, _ := g.Neighbors(i)
-				isMax := true
-				for _, j := range nbr {
-					if int(j) != i && colors[j] < 0 && prio[j] > prio[i] {
-						isMax = false
-						break
-					}
-				}
-				active[i] = isMax
-			}
-		})
+		par.ForChunkCtx(ctx, n, p, 0, jpSelectPhase)
 		// Color the selected independent set (no two selected vertices are
 		// adjacent: both being local maxima over each other is impossible
 		// with distinct priorities).
-		var colored int64
-		par.ForChunk(n, p, 0, func(lo, hi int) {
-			var local int64
-			var mark []bool
-			for i := lo; i < hi; i++ {
-				if !active[i] {
-					continue
-				}
-				nbr, _ := g.Neighbors(i)
-				need := 0
-				for _, j := range nbr {
-					if c := int(colors[j]); c > need {
-						need = c
-					}
-				}
-				if len(mark) < need+2 {
-					mark = make([]bool, need+2)
-				}
-				use := mark[:need+2]
-				for t := range use {
-					use[t] = false
-				}
-				for _, j := range nbr {
-					if int(j) != i {
-						if c := colors[j]; c >= 0 {
-							use[c] = true
-						}
-					}
-				}
-				c := int32(0)
-				for int(c) < len(use) && use[c] {
-					c++
-				}
-				colors[i] = c
-				local++
-			}
-			atomicAddJP(&colored, local)
-		})
-		remaining -= colored
+		s.coloredCount = 0
+		par.ForChunkWorkerCtx(ctx, n, p, 0, jpColorPhase)
+		remaining -= s.coloredCount
 	}
+	s.jpc = jpCtx{} // drop graph/slice references until the next kernel call
 	numColors := 0
 	for _, c := range colors {
 		if int(c)+1 > numColors {
 			numColors = int(c) + 1
 		}
 	}
-	return assemble(colors, numColors, rounds)
+	return assembleInto(s, colors, numColors, rounds)
+}
+
+// jpCtx carries one Jones–Plassmann round's state into the captureless loop
+// bodies, passed by pointer (see par.ForChunkWorkerCtx and Scratch).
+type jpCtx struct {
+	g       *graph.Graph
+	colors  []int32
+	prio    []uint64
+	active  []bool
+	markers []*par.Marker
+	colored *int64
+}
+
+func jpSelectPhase(c *jpCtx, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.active[i] = false
+		if c.colors[i] >= 0 {
+			continue
+		}
+		nbr, _ := c.g.Neighbors(i)
+		isMax := true
+		for _, j := range nbr {
+			if int(j) != i && c.colors[j] < 0 && c.prio[j] > c.prio[i] {
+				isMax = false
+				break
+			}
+		}
+		c.active[i] = isMax
+	}
+}
+
+func jpColorPhase(c *jpCtx, w, lo, hi int) {
+	var local int64
+	used := c.markers[w]
+	for i := lo; i < hi; i++ {
+		if !c.active[i] {
+			continue
+		}
+		used.Reset()
+		nbr, _ := c.g.Neighbors(i)
+		for _, j := range nbr {
+			if int(j) != i {
+				if cc := c.colors[j]; cc >= 0 {
+					if int(cc) >= used.Universe() {
+						used.Grow(int(cc) + 2)
+					}
+					used.Set(cc)
+				}
+			}
+		}
+		cc := int32(0)
+		for int(cc) < used.Universe() && used.Has(cc) {
+			cc++
+		}
+		c.colors[i] = cc
+		local++
+	}
+	atomicAddJP(c.colored, local)
 }

@@ -1,0 +1,432 @@
+package core
+
+import (
+	"time"
+
+	"grappolo/internal/coloring"
+	"grappolo/internal/graph"
+	"grappolo/internal/par"
+)
+
+// Engine is a reusable parallel Louvain pipeline: it owns every piece of
+// mutable scratch the one-shot Run would otherwise allocate per call — the
+// phase working set (phaseState arrays and per-worker decide accumulators),
+// the rebuild scratch (counting-sort buffers, per-worker row accumulators and
+// staging arenas), the renumbering buffers, the coloring scratch (worklists,
+// flat markers, set storage), the per-level coarse-graph slots, and the CPM
+// node-size buffers. Everything is sized by high-water mark and recycled
+// across phases AND across Run calls, so the second Run on a same-shaped
+// graph performs zero scratch allocations (only the Result is allocated; see
+// RunInto to recycle that too).
+//
+// Use one Engine per sequence of runs that share a configuration: dynamic
+// overlays re-detecting on every flush, harness sweeps repeating a
+// configuration, servers answering clustering requests back to back. An
+// Engine is NOT safe for concurrent use — concurrent runs need one Engine
+// each (the memory cost is bounded by the largest graph each engine has
+// seen). Results returned by Run are independent of the engine and stay
+// valid; coloring and phase internals are never exposed.
+type Engine struct {
+	opts Options
+
+	st      phaseState
+	rb      rebuildScratch
+	slots   []*graphSlot
+	slot    int
+	colorSc *coloring.Scratch // base colorings
+	rebalSc *coloring.Scratch // rebalanced colorings (both alive at once)
+
+	// renumbering scratch: occupied flags/prefix and the dense output that
+	// serves as the phase membership until it is folded and consumed.
+	occupied []int64
+	denseOut []int32
+
+	// CPM node sizes, ping-ponged between phases; nsHist holds the pooled
+	// per-worker partial histograms of the parallel re-aggregation.
+	nodeSize []int64
+	nsAlt    []int64
+	nsHist   [][]int64
+	arena    par.Arena
+	nsc      nsCtx // re-aggregation loop context (pointer-passed)
+
+	// vertex-following scratch.
+	vfParent []int32
+	vfMerged int64
+	vfc      vfCtx // VF loop context (pointer-passed)
+
+	fold foldCtx // membership-fold loop context (pointer-passed)
+}
+
+// graphSlot owns one coarse graph produced by a rebuild: the CSR arrays and
+// the Graph header, recycled the next time the same rebuild depth is reached.
+type graphSlot struct {
+	g       *graph.Graph
+	offsets []int64
+	adj     []int32
+	weights []float64
+}
+
+// NewEngine validates opts (panicking exactly like Run on an invalid CPM
+// configuration) and returns an empty engine; all scratch is grown on first
+// use.
+func NewEngine(opts Options) *Engine {
+	opts = opts.Defaults()
+	if opts.Objective == ObjCPM {
+		if opts.CPMGamma <= 0 {
+			panic("core: ObjCPM requires CPMGamma > 0")
+		}
+		if opts.VertexFollowing {
+			panic("core: VertexFollowing requires the modularity objective (Lemma 3 does not hold under CPM)")
+		}
+	}
+	return &Engine{
+		opts:    opts,
+		colorSc: coloring.NewScratch(),
+		rebalSc: coloring.NewScratch(),
+	}
+}
+
+// Options returns the engine's (defaulted) configuration.
+func (e *Engine) Options() Options { return e.opts }
+
+// Run executes the full pipeline on g (see Run's package-level documentation)
+// into a freshly allocated Result.
+func (e *Engine) Run(g *graph.Graph) *Result { return e.RunInto(g, nil) }
+
+// nextSlot returns the coarse-graph slot for the current rebuild depth,
+// growing the slot list on first descent past the previous maximum.
+func (e *Engine) nextSlot() *graphSlot {
+	if e.slot == len(e.slots) {
+		e.slots = append(e.slots, &graphSlot{})
+	}
+	s := e.slots[e.slot]
+	e.slot++
+	return s
+}
+
+// rebuild coarsens g by membership into the next pooled graph slot.
+func (e *Engine) rebuild(g *graph.Graph, membership []int32, numComm, workers int) *graph.Graph {
+	return rebuildInto(&e.rb, e.nextSlot(), g, membership, numComm, workers)
+}
+
+// foldCtx carries the membership-fold inputs into the captureless loop body.
+type foldCtx struct {
+	total []int32 // original-vertex membership, updated in place
+	phase []int32 // phase membership over the current coarse graph
+}
+
+func foldMembership(c *foldCtx, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		c.total[i] = c.phase[c.total[i]]
+	}
+}
+
+// nsCtx carries the CPM node-size re-aggregation state into the captureless
+// loop bodies.
+type nsCtx struct {
+	membership []int32
+	nodeSize   []int64
+	hist       [][]int64
+	next       []int64
+}
+
+// reaggregateNodeSizes computes the next phase's per-community node sizes in
+// parallel (per-worker partial histograms merged in worker order — integer
+// sums, so the result is bit-identical to the former serial loop for any
+// worker count), replacing the last serial step of the inter-phase rebuild.
+func (e *Engine) reaggregateNodeSizes(membership []int32, nodeSize []int64, nc, workers int) []int64 {
+	next := par.Resize(e.nsAlt, nc)
+	nv := len(membership)
+	nw := par.Workers(workers, nv)
+	e.arena.Reset()
+	hist := par.Resize(e.nsHist, nw)
+	e.nsHist = hist
+	for w := range hist {
+		hist[w] = e.arena.Int64(nc)
+	}
+	ctx := &e.nsc
+	*ctx = nsCtx{membership: membership, nodeSize: nodeSize, hist: hist, next: next}
+	par.ForStaticCtx(ctx, nv, workers, func(c *nsCtx, w, lo, hi int) {
+		h := c.hist[w]
+		for v := lo; v < hi; v++ {
+			h[c.membership[v]] += c.nodeSize[v]
+		}
+	})
+	par.ForChunkCtx(ctx, nc, workers, 0, func(c *nsCtx, lo, hi int) {
+		for t := lo; t < hi; t++ {
+			var s int64
+			for w := range c.hist {
+				s += c.hist[w][t]
+			}
+			c.next[t] = s
+		}
+	})
+	*ctx = nsCtx{}
+	// Ping-pong: the previous sizes become the next round's spare buffer.
+	e.nsAlt = nodeSize
+	e.nodeSize = next
+	return next
+}
+
+// runPhase executes the iterations of one phase per Algorithm 1 and returns
+// the dense membership (aliasing the engine's pooled buffer — consumed by the
+// fold and rebuild before the next phase), the trace, and the final score.
+// colorSets is nil for uncolored phases; arcEven marks arc-rebalanced sets
+// (see phaseState.arcEvenSets); modBuf, when non-nil, is recycled backing for
+// the per-iteration score trace.
+func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring.Coloring, arcEven bool, nodeSize []int64, modBuf []float64) ([]int32, PhaseStats, float64) {
+	opts := e.opts
+	workers := opts.Workers
+	st := &e.st
+	st.reset(g, opts, nodeSize, workers)
+	st.arcEvenSets = arcEven
+	stats := PhaseStats{VertexCount: g.N(), Modularity: modBuf[:0]}
+	prevQ := st.score(workers)
+	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		switch {
+		case colorSets != nil:
+			st.sweepColored(colorSets.Sets, workers)
+		case opts.Async:
+			st.sweepAsync(workers)
+		default:
+			st.sweepUncolored(workers)
+		}
+		q := st.score(workers)
+		stats.Iterations++
+		stats.Modularity = append(stats.Modularity, q)
+		if q-prevQ < threshold {
+			prevQ = q
+			break
+		}
+		prevQ = q
+	}
+	var dense []int32
+	if opts.SerialRenumber {
+		dense = renumberSerial(st.curr)
+	} else {
+		out := par.Resize(e.denseOut, g.N())
+		e.denseOut = out
+		occ := par.Resize(e.occupied, g.N()+1)
+		e.occupied = occ
+		renumberParallelInto(out, occ, st.curr, workers)
+		dense = out
+	}
+	return dense, stats, prevQ
+}
+
+// RunInto is Run recycling a previous Result: res's membership, phase, trace
+// and hierarchy storage is reused (and the returned pointer is res itself),
+// so a warmed engine re-running a same-shaped graph allocates nothing at
+// all. The previous contents of res are invalidated. A nil res allocates a
+// fresh Result, which is what Run passes.
+func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
+	opts := e.opts
+	workers := opts.Workers
+	n := g.N()
+	e.slot = 0
+
+	if res == nil {
+		res = &Result{}
+	}
+	oldPhases := res.Phases
+	oldLevels := res.Levels
+	res.Phases = res.Phases[:0]
+	res.Levels = res.Levels[:0]
+	res.Membership = par.Resize(res.Membership, n)
+	res.NumCommunities = 0
+	res.Modularity = 0
+	res.TotalIterations = 0
+	res.Timing = Breakdown{}
+	par.ForChunkCtx(res.Membership, n, workers, 0, func(mem []int32, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			mem[i] = int32(i)
+		}
+	})
+
+	cur := g
+
+	// Step 1: VF preprocessing (§5.3).
+	if opts.VertexFollowing && n > 0 {
+		t0 := time.Now()
+		maxRounds := 1
+		if opts.VFChainCompression {
+			maxRounds = 64
+		}
+		// The composed VF mapping folds directly into res.Membership (already
+		// the identity), avoiding a per-run mapping allocation.
+		compressed, rounds := e.vertexFollowChain(cur, workers, maxRounds, res.Membership)
+		if rounds > 0 {
+			cur = compressed
+		}
+		res.Timing.VF = time.Since(t0)
+	}
+
+	// Under CPM, nodeSize tracks how many original vertices each
+	// (meta-)vertex represents; nil under modularity.
+	var nodeSize []int64
+	if opts.Objective == ObjCPM {
+		// The ping-pong of reaggregateNodeSizes can leave the largest buffer
+		// in the spare slot at the end of a run; start from whichever of the
+		// pair has the bigger capacity so warm runs never re-allocate.
+		if cap(e.nsAlt) > cap(e.nodeSize) {
+			e.nodeSize, e.nsAlt = e.nsAlt, e.nodeSize
+		}
+		nodeSize = par.Resize(e.nodeSize, cur.N())
+		e.nodeSize = nodeSize
+		for i := range nodeSize {
+			nodeSize[i] = 1
+		}
+	}
+
+	prevQ := -1e18
+	colorEnabled := opts.Coloring != ColorOff
+	for phase := 0; opts.MaxPhases == 0 || phase < opts.MaxPhases; phase++ {
+		if cur.N() == 0 {
+			break
+		}
+		// Step 2: coloring decision for this phase (§6.1 policy).
+		colored := colorEnabled
+		if opts.Coloring == ColorFirstPhase && phase > 0 {
+			colored = false
+		}
+		if cur.N() < opts.ColoringVertexCutoff {
+			colored = false
+		}
+		var cs *coloring.Coloring
+		var colorTime time.Duration
+		var colorRSD, colorArcRSD float64
+		arcEven := false
+		if colored {
+			t0 := time.Now()
+			switch {
+			case opts.Distance2Coloring:
+				cs = coloring.ParallelDistance2With(cur, workers, e.colorSc)
+			case opts.JonesPlassmann:
+				cs = coloring.JonesPlassmannWith(cur, workers, uint64(phase)+1, e.colorSc)
+			default:
+				cs = coloring.ParallelWith(cur, workers, e.colorSc)
+			}
+			balance := opts.ColorBalance
+			var cst coloring.Stats
+			statsReady := false
+			if balance == BalanceAuto {
+				// Adaptive mode (§6.2 follow-on): rebalance by arcs exactly
+				// when the base coloring's arc-load skew is bad enough to
+				// cost more than the repair, measured by ArcRSD — the metric
+				// the colored sweep's straggler time actually follows.
+				cst = cs.ComputeStatsOn(cur)
+				statsReady = true
+				if cst.ArcRSD > opts.AutoBalanceArcRSD {
+					balance = BalanceArcs
+				} else {
+					balance = BalanceOff
+				}
+			}
+			if balance != BalanceOff {
+				by := coloring.BalanceByVertices
+				if balance == BalanceArcs {
+					by = coloring.BalanceByArcs
+					arcEven = true
+				}
+				// The rebalancer must honor the base coloring's distance:
+				// moving a vertex of a distance-2 coloring while checking
+				// only distance-1 neighbors silently breaks the invariant.
+				cs = coloring.Rebalance(cur, cs, coloring.RebalanceOptions{
+					Workers:   workers,
+					By:        by,
+					Distance2: opts.Distance2Coloring,
+					Scratch:   e.rebalSc,
+				})
+				statsReady = false
+			}
+			colorTime = time.Since(t0)
+			if !statsReady {
+				cst = cs.ComputeStatsOn(cur)
+			}
+			colorRSD, colorArcRSD = cst.RSD, cst.ArcRSD
+		}
+		threshold := opts.FinalThreshold
+		if colored {
+			threshold = opts.ColoredThreshold
+		}
+
+		// Step 3: iterations. The per-iteration score trace recycles the
+		// backing of the previous run's same-index phase when RunInto was
+		// given one (read before this phase's stats are appended over it).
+		var modBuf []float64
+		if phase < len(oldPhases) {
+			modBuf = oldPhases[phase].Modularity
+		}
+		t0 := time.Now()
+		membership, stats, q := e.runPhase(cur, threshold, cs, arcEven, nodeSize, modBuf)
+		stats.ClusterTime = time.Since(t0)
+		stats.Colored = colored
+		if cs != nil {
+			stats.NumColors = cs.NumColors
+			stats.ColorSetRSD = colorRSD
+			stats.ColorArcRSD = colorArcRSD
+		}
+		stats.ColoringTime = colorTime
+
+		res.TotalIterations += stats.Iterations
+		res.Timing.Coloring += colorTime
+		res.Timing.Clustering += stats.ClusterTime
+
+		// Fold the phase assignment into original-vertex membership.
+		fold := &e.fold
+		*fold = foldCtx{total: res.Membership, phase: membership}
+		par.ForChunkCtx(fold, n, workers, 0, foldMembership)
+		*fold = foldCtx{}
+		if opts.KeepHierarchy {
+			var level []int32
+			if phase < len(oldLevels) {
+				level = par.Resize(oldLevels[phase], n)
+			} else {
+				level = make([]int32, n)
+			}
+			copy(level, res.Membership)
+			res.Levels = append(res.Levels, level)
+		}
+		res.Modularity = q
+		gain := q - prevQ
+		prevQ = q
+
+		nc := int(maxInt32(membership)) + 1
+		noMerge := nc == cur.N()
+
+		// Termination / coloring-policy transitions (§6.1): colored phases
+		// continue while they deliver at least ColoredThreshold gain; once
+		// they do not, coloring is dropped and the remaining phases run to
+		// the fine FinalThreshold.
+		if colored {
+			if gain < opts.ColoredThreshold {
+				colorEnabled = false
+			}
+		} else if gain < opts.FinalThreshold && phase > 0 {
+			res.Phases = append(res.Phases, stats)
+			break
+		}
+		if noMerge && !colored {
+			res.Phases = append(res.Phases, stats)
+			break
+		}
+
+		// Step 4: rebuild for the next phase (§5.5).
+		t0 = time.Now()
+		if !noMerge {
+			if nodeSize != nil {
+				nodeSize = e.reaggregateNodeSizes(membership, nodeSize, nc, workers)
+			}
+			cur = e.rebuild(cur, membership, nc, workers)
+		}
+		stats.RebuildTime = time.Since(t0)
+		res.Timing.Rebuild += stats.RebuildTime
+		res.Phases = append(res.Phases, stats)
+	}
+
+	res.NumCommunities = int(maxInt32(res.Membership)) + 1
+	if n == 0 {
+		res.NumCommunities = 0
+	}
+	return res
+}

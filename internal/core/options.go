@@ -40,6 +40,12 @@ const (
 	// work is proportional to member arcs, not vertices, so this targets
 	// the actual straggler cost on hub-skewed inputs.
 	BalanceArcs
+	// BalanceAuto measures the base coloring's arc-load skew each phase and
+	// applies arc rebalancing only when its ArcRSD exceeds
+	// Options.AutoBalanceArcRSD — paying the repair exactly on the inputs
+	// (like uk-2002) whose skew would otherwise serialize the colored
+	// sweeps, and skipping it on already-balanced colorings.
+	BalanceAuto
 )
 
 // Objective selects the quality function being optimized.
@@ -86,6 +92,12 @@ type Options struct {
 	// Deprecated: set ColorBalance to BalanceVertices instead. When set and
 	// ColorBalance is BalanceOff, Defaults maps it to BalanceVertices.
 	BalancedColoring bool
+
+	// AutoBalanceArcRSD is the per-phase ArcRSD threshold above which
+	// BalanceAuto applies arc rebalancing (<= 0: 0.5). An evenly loaded
+	// coloring sits well below 0.5; the skewed colorings the paper blames
+	// for uk-2002's poor speedup (§6.2) sit far above it.
+	AutoBalanceArcRSD float64
 
 	// Distance2Coloring uses distance-2 instead of distance-1 coloring
 	// (§5.2 discusses distance-k variants). Implies more colors and less
@@ -168,6 +180,9 @@ func (o Options) Defaults() Options {
 	}
 	if o.BalancedColoring && o.ColorBalance == BalanceOff {
 		o.ColorBalance = BalanceVertices
+	}
+	if o.AutoBalanceArcRSD <= 0 {
+		o.AutoBalanceArcRSD = 0.5
 	}
 	return o
 }

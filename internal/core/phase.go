@@ -1,12 +1,17 @@
 package core
 
 import (
-	"grappolo/internal/coloring"
 	"grappolo/internal/graph"
 	"grappolo/internal/par"
 )
 
-// phaseState carries the per-phase working arrays of Algorithm 1.
+// phaseState carries the per-phase working arrays of Algorithm 1. Under the
+// Engine one phaseState instance is recycled across phases and runs: reset
+// re-slices every array to the phase's vertex count, growing backing storage
+// only past the high-water mark, so a warmed Engine runs phases without
+// allocating. Loop bodies receive the state as an explicit pointer context
+// (par.ForChunkWorkerCtx et al.) instead of capturing it, which keeps the
+// single-worker paths allocation-free.
 type phaseState struct {
 	g        *graph.Graph
 	m        float64   // sum of edge weights (paper's m)
@@ -19,53 +24,86 @@ type phaseState struct {
 	obj      Objective
 	cpmGamma float64
 	nodeSize []int64 // original-vertex count per (meta-)vertex (CPM only)
-	commNS   []int64 // Σ nodeSize per community (CPM only)
-	// scratch holds one neighbor-community accumulator per worker, allocated
-	// once per phase and reused across every sweep and iteration so the
+	commNS   []int64 // Σ nodeSize per community (CPM only; nil ⇒ modularity)
+	nsBuf    []int64 // pooled backing for commNS (which must stay nil-able)
+	// scratch holds one neighbor-community accumulator per worker, grown in
+	// place and reused across every sweep, iteration, phase and run, so the
 	// decide loop is allocation-free in steady state (§5.5: the per-vertex
 	// map was the dominant clustering cost).
 	scratch []*par.SparseAccum
 	// colorPrefix caches, per color set, the arc prefix sum that drives
 	// arc-balanced chunking in colored sweeps. Sets and OutDegree are
 	// immutable for the whole phase, so it is built once on the first
-	// colored sweep and reused by every later iteration.
+	// colored sweep and reused by every later iteration. prefixBuf is the
+	// pooled backing array for all sets.
 	colorPrefix [][]int64
+	prefixBuf   []int64
+	prefixReady bool
+	// arcEvenSets marks that the phase's coloring was arc-rebalanced: the
+	// sets are even by total arc count by construction, so the colored sweep
+	// skips both the colorPrefix build and per-set arc chunking and uses
+	// plain dynamic count chunks (the ROADMAP's "consume rebalanced sets
+	// directly" item).
+	arcEvenSets bool
+	// aggF/aggI are pooled reduction buffers for the modularity (a_C) and
+	// CPM (node-size) scoring kernels, zeroed per use.
+	aggF []float64
+	aggI []int64
+	// transient loop-body inputs (set immediately before the loops that read
+	// them; carried here so the captureless bodies reach them via the state
+	// pointer).
+	refreshFrom []int32 // refreshAggregates input assignment
+	curSet      []int32 // sweepColored's current color set
 }
 
-func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) *phaseState {
+// reset prepares st for one phase over g, recycling every buffer.
+func (st *phaseState) reset(g *graph.Graph, opts Options, nodeSize []int64, workers int) {
 	n := g.N()
-	st := &phaseState{
-		g:        g,
-		m:        g.M(),
-		curr:     make([]int32, n),
-		prev:     make([]int32, n),
-		commDeg:  make([]float64, n),
-		size:     make([]int64, n),
-		gamma:    opts.Resolution,
-		minLbl:   !opts.DisableMinLabel,
-		obj:      opts.Objective,
-		cpmGamma: opts.CPMGamma,
-	}
+	st.g = g
+	st.m = g.M()
+	st.curr = par.Resize(st.curr, n)
+	st.prev = par.Resize(st.prev, n)
+	st.commDeg = par.Resize(st.commDeg, n)
+	st.size = par.Resize(st.size, n)
+	st.gamma = opts.Resolution
+	st.minLbl = !opts.DisableMinLabel
+	st.obj = opts.Objective
+	st.cpmGamma = opts.CPMGamma
+	st.nodeSize, st.commNS = nil, nil
 	if st.obj == ObjCPM {
 		st.nodeSize = nodeSize
-		st.commNS = make([]int64, n)
+		st.nsBuf = par.Resize(st.nsBuf, n)
+		st.commNS = st.nsBuf
 	}
+	st.prefixReady = false
+	st.arcEvenSets = false
 	// One accumulator per effective worker: community ids live in [0, n),
-	// and a vertex can touch at most OutDegree+1 distinct communities.
-	st.scratch = make([]*par.SparseAccum, par.Workers(workers, n))
-	for w := range st.scratch {
-		st.scratch[w] = par.NewSparseAccum(n, g.MaxOutDegree()+1)
+	// and a vertex can touch at most OutDegree+1 distinct communities (the
+	// key list grows amortized past that on coarser graphs).
+	nw := par.Workers(workers, n)
+	for len(st.scratch) < nw {
+		st.scratch = append(st.scratch, par.NewSparseAccum(n, g.MaxOutDegree()+1))
 	}
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
+	for w := 0; w < nw; w++ {
+		st.scratch[w].Grow(n)
+	}
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			st.curr[i] = int32(i)
-			st.commDeg[i] = g.Degree(i)
+			st.commDeg[i] = st.g.Degree(i)
 			st.size[i] = 1
 			if st.commNS != nil {
-				st.commNS[i] = nodeSize[i]
+				st.commNS[i] = st.nodeSize[i]
 			}
 		}
 	})
+}
+
+// newPhaseState allocates a standalone phase state (tests, benchmarks, and
+// the exported Modularity kernel); the Engine recycles one via reset.
+func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) *phaseState {
+	st := &phaseState{}
+	st.reset(g, opts, nodeSize, workers)
 	return st
 }
 
@@ -74,7 +112,8 @@ func newPhaseState(g *graph.Graph, opts Options, nodeSize []int64, workers int) 
 // colored sweep).
 func (st *phaseState) refreshAggregates(from []int32, workers int) {
 	n := st.g.N()
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
+	st.refreshFrom = from
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			st.commDeg[i] = 0
 			st.size[i] = 0
@@ -83,9 +122,9 @@ func (st *phaseState) refreshAggregates(from []int32, workers int) {
 			}
 		}
 	})
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			c := from[i]
+			c := st.refreshFrom[i]
 			par.AddFloat64(&st.commDeg[c], st.g.Degree(i))
 			atomicAdd64(&st.size[c], 1)
 			if st.commNS != nil {
@@ -93,6 +132,7 @@ func (st *phaseState) refreshAggregates(from []int32, workers int) {
 			}
 		}
 	})
+	st.refreshFrom = nil
 }
 
 // decide computes vertex i's new community per Eqs. (4)–(5) with the
@@ -220,7 +260,7 @@ func (st *phaseState) applyMove(i int, old, next int32) {
 func (st *phaseState) sweepUncolored(workers int) {
 	copy(st.prev, st.curr)
 	st.refreshAggregates(st.prev, workers)
-	par.ForChunkPrefix(st.g.ArcOffsets(), workers, func(w, lo, hi int) {
+	par.ForChunkPrefixCtx(st, st.g.ArcOffsets(), workers, func(st *phaseState, w, lo, hi int) {
 		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
 			st.curr[i] = st.decide(i, st.prev, acc, false, false)
@@ -228,45 +268,63 @@ func (st *phaseState) sweepUncolored(workers int) {
 	})
 }
 
+// sweepColoredSet processes one color set: vertices decide in parallel
+// reading the LIVE community state and update the aggregates atomically on
+// migration.
+func sweepColoredSet(st *phaseState, w, lo, hi int) {
+	acc := st.scratch[w]
+	set := st.curSet
+	for t := lo; t < hi; t++ {
+		i := int(set[t])
+		old := st.curr[i]
+		next := st.decide(i, st.curr, acc, true, false)
+		if next != old {
+			st.applyMove(i, old, next)
+			st.curr[i] = next
+		}
+	}
+}
+
 // sweepColored performs one full iteration over color sets: sets are
 // processed in order; inside a set vertices decide in parallel reading the
-// LIVE community state (earlier sets' moves are visible, §5.4 step 3) and
-// update the aggregates atomically on migration. Within a set, chunks are
-// balanced by member arc counts (prefix sum over OutDegree into the reused
-// setPrefix buffer) rather than member counts.
+// LIVE community state (earlier sets' moves are visible, §5.4 step 3).
+// Within a set, chunks are balanced by member arc counts (prefix sum over
+// OutDegree into the pooled colorPrefix buffers) — unless the coloring was
+// arc-rebalanced (arcEvenSets), in which case the sets are already even by
+// construction and plain dynamic count chunks skip both the prefix build
+// and the binary-search chunking.
 func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 	st.refreshAggregates(st.curr, workers)
-	if st.colorPrefix == nil {
+	if !st.arcEvenSets && !st.prefixReady {
 		total := 0
 		for _, set := range sets {
 			total += len(set) + 1
 		}
-		buf := make([]int64, total) // one backing array for all sets
-		st.colorPrefix = make([][]int64, len(sets))
+		buf := par.Resize(st.prefixBuf, total) // one backing array for all sets
+		st.prefixBuf = buf
+		prefixes := par.Resize(st.colorPrefix, len(sets))
+		st.colorPrefix = prefixes
 		off := 0
 		for si, set := range sets {
 			prefix := buf[off : off+len(set)+1]
 			off += len(set) + 1
+			prefix[0] = 0
 			for t, v := range set {
 				prefix[t+1] = prefix[t] + int64(st.g.OutDegree(int(v)))
 			}
-			st.colorPrefix[si] = prefix
+			prefixes[si] = prefix
 		}
+		st.prefixReady = true
 	}
 	for si, set := range sets {
-		par.ForChunkPrefix(st.colorPrefix[si], workers, func(w, lo, hi int) {
-			acc := st.scratch[w]
-			for t := lo; t < hi; t++ {
-				i := int(set[t])
-				old := st.curr[i]
-				next := st.decide(i, st.curr, acc, true, false)
-				if next != old {
-					st.applyMove(i, old, next)
-					st.curr[i] = next
-				}
-			}
-		})
+		st.curSet = set
+		if st.arcEvenSets {
+			par.ForChunkWorkerCtx(st, len(set), workers, 0, sweepColoredSet)
+		} else {
+			par.ForChunkPrefixCtx(st, st.colorPrefix[si], workers, sweepColoredSet)
+		}
 	}
+	st.curSet = nil
 }
 
 // sweepAsync performs one full iteration of asynchronous live-state local
@@ -275,7 +333,7 @@ func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 // accessed atomically because adjacent vertices move concurrently.
 func (st *phaseState) sweepAsync(workers int) {
 	st.refreshAggregates(st.curr, workers)
-	par.ForChunkPrefix(st.g.ArcOffsets(), workers, func(w, lo, hi int) {
+	par.ForChunkPrefixCtx(st, st.g.ArcOffsets(), workers, func(st *phaseState, w, lo, hi int) {
 		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
 			old := atomicLoad32(&st.curr[i])
@@ -305,9 +363,9 @@ func (st *phaseState) cpmScore(workers int) float64 {
 	if n == 0 || st.m == 0 {
 		return 0
 	}
-	within2 := par.SumFloat64(n, workers, func(i int) float64 {
+	within2 := par.SumFloat64Ctx(st, n, workers, func(st *phaseState, i int) float64 {
 		ci := st.curr[i]
-		nbr, wts := g.Neighbors(i)
+		nbr, wts := st.g.Neighbors(i)
 		s := 0.0
 		for t, j := range nbr {
 			if int(j) == i || st.curr[j] == ci {
@@ -316,14 +374,20 @@ func (st *phaseState) cpmScore(workers int) float64 {
 		}
 		return s
 	})
-	ns := make([]int64, n)
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
+	ns := par.Resize(st.aggI, n)
+	st.aggI = ns
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			atomicAdd64(&ns[st.curr[i]], st.nodeSize[i])
+			st.aggI[i] = 0
 		}
 	})
-	penalty := par.SumFloat64(n, workers, func(c int) float64 {
-		s := float64(ns[c])
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomicAdd64(&st.aggI[st.curr[i]], st.nodeSize[i])
+		}
+	})
+	penalty := par.SumFloat64Ctx(st, n, workers, func(st *phaseState, c int) float64 {
+		s := float64(st.aggI[c])
 		return s * (s - 1) / 2
 	})
 	return (within2/2 - st.cpmGamma*penalty) / st.m
@@ -337,9 +401,9 @@ func (st *phaseState) modularity(workers int) float64 {
 	if n == 0 || m2 == 0 {
 		return 0
 	}
-	within := par.SumFloat64(n, workers, func(i int) float64 {
+	within := par.SumFloat64Ctx(st, n, workers, func(st *phaseState, i int) float64 {
 		ci := st.curr[i]
-		nbr, wts := g.Neighbors(i)
+		nbr, wts := st.g.Neighbors(i)
 		s := 0.0
 		for t, j := range nbr {
 			if st.curr[j] == ci {
@@ -348,51 +412,22 @@ func (st *phaseState) modularity(workers int) float64 {
 		}
 		return s
 	})
-	// a_C from curr, then Σ (a_C / 2m)².
-	deg := make([]float64, n)
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
+	// a_C from curr (into the pooled, zeroed buffer), then Σ (a_C / 2m)².
+	deg := par.Resize(st.aggF, n)
+	st.aggF = deg
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
 		for i := lo; i < hi; i++ {
-			par.AddFloat64(&deg[st.curr[i]], g.Degree(i))
+			st.aggF[i] = 0
 		}
 	})
-	null := par.SumFloat64(n, workers, func(c int) float64 {
-		f := deg[c] / m2
+	par.ForChunkCtx(st, n, workers, 0, func(st *phaseState, lo, hi int) {
+		for i := lo; i < hi; i++ {
+			par.AddFloat64(&st.aggF[st.curr[i]], st.g.Degree(i))
+		}
+	})
+	null := par.SumFloat64Ctx(st, n, workers, func(st *phaseState, c int) float64 {
+		f := st.aggF[c] / st.g.TotalWeight()
 		return f * f
 	})
 	return within/m2 - st.gamma*null
-}
-
-// runPhase executes the iterations of one phase per Algorithm 1 and
-// returns the dense membership, the trace, and the final modularity.
-// colorSets is nil for uncolored phases.
-func runPhase(g *graph.Graph, opts Options, threshold float64, colorSets *coloring.Coloring, nodeSize []int64) ([]int32, PhaseStats, float64) {
-	workers := opts.Workers
-	st := newPhaseState(g, opts, nodeSize, workers)
-	stats := PhaseStats{VertexCount: g.N()}
-	prevQ := st.score(workers)
-	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
-		switch {
-		case colorSets != nil:
-			st.sweepColored(colorSets.Sets, workers)
-		case opts.Async:
-			st.sweepAsync(workers)
-		default:
-			st.sweepUncolored(workers)
-		}
-		q := st.score(workers)
-		stats.Iterations++
-		stats.Modularity = append(stats.Modularity, q)
-		if q-prevQ < threshold {
-			prevQ = q
-			break
-		}
-		prevQ = q
-	}
-	var dense []int32
-	if opts.SerialRenumber {
-		dense = renumberSerial(st.curr)
-	} else {
-		dense = renumberParallel(st.curr, workers)
-	}
-	return dense, stats, prevQ
 }

@@ -1,11 +1,7 @@
 package core
 
 import (
-	"time"
-
-	"grappolo/internal/coloring"
 	"grappolo/internal/graph"
-	"grappolo/internal/par"
 )
 
 // Run executes the full parallel Louvain pipeline of §5.4 on g:
@@ -17,176 +13,14 @@ import (
 //
 // and returns the flattened community assignment for g's original vertices
 // together with full instrumentation.
+//
+// Run is the one-shot convenience form: it builds a throwaway Engine per
+// call, so every invocation starts cold. Callers that cluster repeatedly —
+// dynamic overlays, harness sweeps, services answering many requests —
+// should hold a single Engine (NewEngine) and call Engine.Run, which
+// recycles all scratch across calls; the results are identical.
 func Run(g *graph.Graph, opts Options) *Result {
-	opts = opts.Defaults()
-	if opts.Objective == ObjCPM {
-		if opts.CPMGamma <= 0 {
-			panic("core: ObjCPM requires CPMGamma > 0")
-		}
-		if opts.VertexFollowing {
-			panic("core: VertexFollowing requires the modularity objective (Lemma 3 does not hold under CPM)")
-		}
-	}
-	workers := opts.Workers
-	n := g.N()
-
-	res := &Result{Membership: make([]int32, n)}
-	par.ForChunk(n, workers, 0, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			res.Membership[i] = int32(i)
-		}
-	})
-
-	cur := g
-
-	// Step 1: VF preprocessing (§5.3).
-	if opts.VertexFollowing && n > 0 {
-		t0 := time.Now()
-		maxRounds := 1
-		if opts.VFChainCompression {
-			maxRounds = 64
-		}
-		compressed, mapping, rounds := vertexFollowChain(cur, workers, maxRounds)
-		if rounds > 0 {
-			cur = compressed
-			res.Membership = mapping
-		}
-		res.Timing.VF = time.Since(t0)
-	}
-
-	// Under CPM, nodeSize tracks how many original vertices each
-	// (meta-)vertex represents; nil under modularity.
-	var nodeSize []int64
-	if opts.Objective == ObjCPM {
-		nodeSize = make([]int64, cur.N())
-		for i := range nodeSize {
-			nodeSize[i] = 1
-		}
-	}
-
-	prevQ := -1e18
-	colorEnabled := opts.Coloring != ColorOff
-	for phase := 0; opts.MaxPhases == 0 || phase < opts.MaxPhases; phase++ {
-		if cur.N() == 0 {
-			break
-		}
-		// Step 2: coloring decision for this phase (§6.1 policy).
-		colored := colorEnabled
-		if opts.Coloring == ColorFirstPhase && phase > 0 {
-			colored = false
-		}
-		if cur.N() < opts.ColoringVertexCutoff {
-			colored = false
-		}
-		var cs *coloring.Coloring
-		var colorTime time.Duration
-		var colorRSD, colorArcRSD float64
-		if colored {
-			t0 := time.Now()
-			switch {
-			case opts.Distance2Coloring:
-				cs = coloring.ParallelDistance2(cur, workers)
-			case opts.JonesPlassmann:
-				cs = coloring.JonesPlassmann(cur, workers, uint64(phase)+1)
-			default:
-				cs = coloring.Parallel(cur, workers)
-			}
-			if opts.ColorBalance != BalanceOff {
-				by := coloring.BalanceByVertices
-				if opts.ColorBalance == BalanceArcs {
-					by = coloring.BalanceByArcs
-				}
-				// The rebalancer must honor the base coloring's distance:
-				// moving a vertex of a distance-2 coloring while checking
-				// only distance-1 neighbors silently breaks the invariant.
-				cs = coloring.Rebalance(cur, cs, coloring.RebalanceOptions{
-					Workers:   workers,
-					By:        by,
-					Distance2: opts.Distance2Coloring,
-				})
-			}
-			colorTime = time.Since(t0)
-			st := cs.ComputeStatsOn(cur)
-			colorRSD, colorArcRSD = st.RSD, st.ArcRSD
-		}
-		threshold := opts.FinalThreshold
-		if colored {
-			threshold = opts.ColoredThreshold
-		}
-
-		// Step 3: iterations.
-		t0 := time.Now()
-		membership, stats, q := runPhase(cur, opts, threshold, cs, nodeSize)
-		stats.ClusterTime = time.Since(t0)
-		stats.Colored = colored
-		if cs != nil {
-			stats.NumColors = cs.NumColors
-			stats.ColorSetRSD = colorRSD
-			stats.ColorArcRSD = colorArcRSD
-		}
-		stats.ColoringTime = colorTime
-
-		res.TotalIterations += stats.Iterations
-		res.Timing.Coloring += colorTime
-		res.Timing.Clustering += stats.ClusterTime
-
-		// Fold the phase assignment into original-vertex membership.
-		par.ForChunk(n, workers, 0, func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				res.Membership[i] = membership[res.Membership[i]]
-			}
-		})
-		if opts.KeepHierarchy {
-			level := make([]int32, n)
-			copy(level, res.Membership)
-			res.Levels = append(res.Levels, level)
-		}
-		res.Modularity = q
-		gain := q - prevQ
-		prevQ = q
-
-		nc := int(maxInt32(membership)) + 1
-		noMerge := nc == cur.N()
-
-		// Termination / coloring-policy transitions (§6.1): colored phases
-		// continue while they deliver at least ColoredThreshold gain; once
-		// they do not, coloring is dropped and the remaining phases run to
-		// the fine FinalThreshold.
-		if colored {
-			if gain < opts.ColoredThreshold {
-				colorEnabled = false
-			}
-		} else if gain < opts.FinalThreshold && phase > 0 {
-			res.Phases = append(res.Phases, stats)
-			break
-		}
-		if noMerge && !colored {
-			res.Phases = append(res.Phases, stats)
-			break
-		}
-
-		// Step 4: rebuild for the next phase (§5.5).
-		t0 = time.Now()
-		if !noMerge {
-			if nodeSize != nil {
-				newSizes := make([]int64, nc)
-				for v, c := range membership {
-					newSizes[c] += nodeSize[v]
-				}
-				nodeSize = newSizes
-			}
-			cur = rebuild(cur, membership, nc, workers)
-		}
-		stats.RebuildTime = time.Since(t0)
-		res.Timing.Rebuild += stats.RebuildTime
-		res.Phases = append(res.Phases, stats)
-	}
-
-	res.NumCommunities = int(maxInt32(res.Membership)) + 1
-	if n == 0 {
-		res.NumCommunities = 0
-	}
-	return res
+	return NewEngine(opts).Run(g)
 }
 
 // Modularity computes Eq. (3) for an arbitrary assignment on g using

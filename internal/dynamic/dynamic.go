@@ -57,6 +57,13 @@ func (o Options) defaults() Options {
 // Maintainer holds the evolving graph and its community assignment.
 type Maintainer struct {
 	opts Options
+	// engine is the reusable detection pipeline for full re-runs: scratch
+	// (phase arrays, rebuild arenas, coloring buffers) is recycled across
+	// Flush-triggered re-detections instead of re-allocated, which is
+	// exactly the repeated-run workload core.Engine exists for. The
+	// maintainer is single-threaded, matching the engine's no-concurrent-Run
+	// rule.
+	engine *core.Engine
 	// adj is the live adjacency overlay: adj[u][v] = weight.
 	adj []map[int32]float64
 	// comm is the current community of each vertex; degree the weighted
@@ -79,6 +86,7 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 	n := g.N()
 	m := &Maintainer{
 		opts:    opts,
+		engine:  core.NewEngine(opts.Full),
 		adj:     make([]map[int32]float64, n),
 		degree:  make([]float64, n),
 		touched: make(map[int32]struct{}),
@@ -264,8 +272,8 @@ func (m *Maintainer) localOptimize() {
 	}
 }
 
-// fullRun rebuilds a CSR snapshot and re-detects from scratch with the
-// parallel engine, resetting drift tracking.
+// fullRun rebuilds a CSR snapshot and re-detects with the pooled engine
+// (scratch recycled from the previous full run), resetting drift tracking.
 func (m *Maintainer) fullRun() {
 	n := len(m.adj)
 	b := graph.NewBuilder(n) // explicit n keeps trailing isolated vertices
@@ -277,7 +285,8 @@ func (m *Maintainer) fullRun() {
 		}
 	}
 	g := b.Build(m.opts.Workers)
-	res := core.Run(g, m.opts.Full)
+	// Engine.Run (not RunInto): m.comm must survive the next full run.
+	res := m.engine.Run(g)
 	m.comm = res.Membership
 	m.commDeg = make([]float64, n)
 	for i := 0; i < n; i++ {

@@ -155,12 +155,14 @@ func (g *Graph) normalizeRows(p int) {
 }
 
 // finish computes the cached degrees, total weight, self-loop count, and
-// maximum out-degree.
+// maximum out-degree. It reuses g's degree array when the capacity allows and
+// routes every loop through the captureless ...Ctx forms, so rebuilding a
+// pooled Graph (FromCSRInto) allocates nothing in steady state.
 func (g *Graph) finish(p int) {
 	n := g.N()
-	g.degree = make([]float64, n)
-	var loops atomic.Int64
-	par.ForChunk(n, p, 0, func(lo, hi int) {
+	g.degree = par.Resize(g.degree, n)
+	g.loops = 0
+	par.ForChunkCtx(g, n, p, 0, func(g *Graph, lo, hi int) {
 		var chunkLoops int64
 		for i := lo; i < hi; i++ {
 			nbr, w := g.Neighbors(i)
@@ -173,14 +175,13 @@ func (g *Graph) finish(p int) {
 			}
 			g.degree[i] = s
 		}
-		loops.Add(chunkLoops)
+		atomic.AddInt64(&g.loops, chunkLoops)
 	})
-	g.loops = loops.Load()
 	// Cheap O(n) reductions over cached per-row data (no arc traffic).
-	g.maxOut = int(par.MaxInt64(n, p, func(i int) int64 {
+	g.maxOut = int(par.MaxInt64Ctx(g, n, p, func(g *Graph, i int) int64 {
 		return g.offsets[i+1] - g.offsets[i]
 	}))
-	g.totalW = par.SumFloat64(n, p, func(i int) float64 { return g.degree[i] })
+	g.totalW = par.SumFloat64Ctx(g, n, p, func(g *Graph, i int) float64 { return g.degree[i] })
 }
 
 // FromCSR constructs a Graph directly from CSR arrays that are already
@@ -188,14 +189,27 @@ func (g *Graph) finish(p int) {
 // Used by the coarsening step, which produces normalized rows by
 // construction. Set check to true to validate (tests).
 func FromCSR(offsets []int64, adj []int32, weights []float64, p int, check bool) (*Graph, error) {
-	g := &Graph{offsets: offsets, adj: adj, weights: weights}
-	g.finish(p)
+	return FromCSRInto(nil, offsets, adj, weights, p, check)
+}
+
+// FromCSRInto is FromCSR recycling dst: the Graph header and its cached
+// degree array are reused (grown only when the vertex count exceeds the
+// previous capacity), so a pooled caller — core.Engine's per-level coarse
+// graph slots — rebuilds a same-shaped graph without allocating. dst may be
+// nil, in which case a fresh Graph is built. Any prior contents of dst are
+// invalidated; callers must not retain views of the previous graph.
+func FromCSRInto(dst *Graph, offsets []int64, adj []int32, weights []float64, p int, check bool) (*Graph, error) {
+	if dst == nil {
+		dst = &Graph{}
+	}
+	dst.offsets, dst.adj, dst.weights = offsets, adj, weights
+	dst.finish(p)
 	if check {
-		if err := g.Validate(); err != nil {
+		if err := dst.Validate(); err != nil {
 			return nil, fmt.Errorf("graph: invalid CSR input: %w", err)
 		}
 	}
-	return g, nil
+	return dst, nil
 }
 
 type rowSorter struct {

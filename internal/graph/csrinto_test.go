@@ -1,0 +1,81 @@
+package graph
+
+import "testing"
+
+// pathCSR builds the CSR arrays of an n-vertex unweighted path.
+func pathCSR(n int) (offsets []int64, adj []int32, weights []float64) {
+	offsets = make([]int64, n+1)
+	for i := 0; i < n; i++ {
+		d := int64(2)
+		if i == 0 || i == n-1 {
+			d = 1
+		}
+		offsets[i+1] = offsets[i] + d
+	}
+	adj = make([]int32, offsets[n])
+	weights = make([]float64, offsets[n])
+	pos := 0
+	for i := 0; i < n; i++ {
+		if i > 0 {
+			adj[pos], weights[pos] = int32(i-1), 1
+			pos++
+		}
+		if i < n-1 {
+			adj[pos], weights[pos] = int32(i+1), 1
+			pos++
+		}
+	}
+	return
+}
+
+func TestFromCSRIntoRecyclesGraph(t *testing.T) {
+	off, adj, w := pathCSR(16)
+	g, err := FromCSRInto(nil, off, adj, w, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degPtr := &g.degree[0]
+	// Rebuild the same shape in place: header and degree array must be reused.
+	off2, adj2, w2 := pathCSR(16)
+	g2, err := FromCSRInto(g, off2, adj2, w2, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2 != g {
+		t.Fatal("FromCSRInto returned a new header for a non-nil dst")
+	}
+	if &g2.degree[0] != degPtr {
+		t.Fatal("FromCSRInto reallocated the degree array at unchanged size")
+	}
+	// Shrink, then grow past the original capacity.
+	off3, adj3, w3 := pathCSR(4)
+	if _, err := FromCSRInto(g, off3, adj3, w3, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 4 || g.MaxOutDegree() != 2 || g.TotalWeight() != 6 {
+		t.Fatalf("shrunk graph wrong: n=%d maxout=%d 2m=%v", g.N(), g.MaxOutDegree(), g.TotalWeight())
+	}
+	off4, adj4, w4 := pathCSR(64)
+	if _, err := FromCSRInto(g, off4, adj4, w4, 1, true); err != nil {
+		t.Fatal(err)
+	}
+	if g.N() != 64 || g.EdgeCount() != 63 {
+		t.Fatalf("grown graph wrong: n=%d M=%d", g.N(), g.EdgeCount())
+	}
+}
+
+func TestFromCSRIntoSteadyStateZeroAllocs(t *testing.T) {
+	off, adj, w := pathCSR(256)
+	g, err := FromCSRInto(nil, off, adj, w, 1, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(10, func() {
+		if _, err := FromCSRInto(g, off, adj, w, 1, false); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("warm FromCSRInto allocates %v times, want 0", allocs)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"strconv"
 
 	"grappolo/internal/coloring"
+	"grappolo/internal/core"
 	"grappolo/internal/generate"
 )
 
@@ -22,6 +23,10 @@ type ColorSkewRow struct {
 	// Base is the unbalanced speculative coloring; Vertex and Arc are the
 	// same coloring after the respective rebalancing mode.
 	Base, Vertex, Arc coloring.Stats
+	// AutoPicked reports what core.BalanceAuto would do on this input at the
+	// default ArcRSD threshold: "arc" when the base skew warrants the
+	// repair, "off" when the coloring is already balanced enough.
+	AutoPicked string
 }
 
 // ColorSkew colors each input with the speculative parallel coloring and
@@ -43,13 +48,19 @@ func ColorSkew(o Options, inputs []generate.Input) ([]ColorSkewRow, error) {
 		arc := coloring.Rebalance(g, base, coloring.RebalanceOptions{
 			Workers: o.Workers, By: coloring.BalanceByArcs,
 		})
-		rows = append(rows, ColorSkewRow{
+		row := ColorSkewRow{
 			Input:  in,
 			Colors: base.NumColors,
 			Base:   base.ComputeStatsOn(g),
 			Vertex: vert.ComputeStatsOn(g),
 			Arc:    arc.ComputeStatsOn(g),
-		})
+		}
+		// Mirror core.BalanceAuto's decision at the default threshold.
+		row.AutoPicked = "off"
+		if row.Base.ArcRSD > (core.Options{}).Defaults().AutoBalanceArcRSD {
+			row.AutoPicked = "arc"
+		}
+		rows = append(rows, row)
 	}
 	return rows, nil
 }
@@ -57,16 +68,16 @@ func ColorSkew(o Options, inputs []generate.Input) ([]ColorSkewRow, error) {
 // WriteColorSkew renders the color-skew study as text.
 func WriteColorSkew(w io.Writer, rows []ColorSkewRow) {
 	fmt.Fprintf(w, "Color-set skew (§6.2): base vs vertex-balanced vs arc-balanced\n")
-	fmt.Fprintf(w, "%-12s %7s | %8s %8s | %8s %8s | %8s %8s\n",
-		"input", "colors", "rsd", "arcrsd", "rsd", "arcrsd", "rsd", "arcrsd")
-	fmt.Fprintf(w, "%-12s %7s | %17s | %17s | %17s\n",
+	fmt.Fprintf(w, "%-12s %7s | %8s %8s | %8s %8s | %8s %8s | %4s\n",
+		"input", "colors", "rsd", "arcrsd", "rsd", "arcrsd", "rsd", "arcrsd", "auto")
+	fmt.Fprintf(w, "%-12s %7s | %17s | %17s | %17s |\n",
 		"", "", "base", "vertex-balanced", "arc-balanced")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %7d | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f\n",
+		fmt.Fprintf(w, "%-12s %7d | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f | %4s\n",
 			r.Input, r.Colors,
 			r.Base.RSD, r.Base.ArcRSD,
 			r.Vertex.RSD, r.Vertex.ArcRSD,
-			r.Arc.RSD, r.Arc.ArcRSD)
+			r.Arc.RSD, r.Arc.ArcRSD, r.AutoPicked)
 	}
 }
 
@@ -78,6 +89,7 @@ func WriteColorSkewCSV(w io.Writer, rows []ColorSkewRow) error {
 		"base_rsd", "base_arc_rsd",
 		"vertex_rsd", "vertex_arc_rsd",
 		"arc_rsd", "arc_arc_rsd",
+		"auto_picked",
 	}); err != nil {
 		return err
 	}
@@ -87,6 +99,7 @@ func WriteColorSkewCSV(w io.Writer, rows []ColorSkewRow) error {
 			fmtF(r.Base.RSD), fmtF(r.Base.ArcRSD),
 			fmtF(r.Vertex.RSD), fmtF(r.Vertex.ArcRSD),
 			fmtF(r.Arc.RSD), fmtF(r.Arc.ArcRSD),
+			r.AutoPicked,
 		}); err != nil {
 			return err
 		}

@@ -321,9 +321,14 @@ func Table4(o Options, inputs []generate.Input, repeats int) ([]Table4Row, error
 
 func repeatRuns(g *graph.Graph, opts core.Options, repeats int) (qmin, qmax float64, total time.Duration, iters int) {
 	qmin, qmax = 2, -2
+	// One pooled engine across the repeats: exactly the repeated-run
+	// workload Engine exists for, and the recycled result keeps the
+	// [min, max] sweeps allocation-free after the first run.
+	eng := core.NewEngine(opts)
+	var res *core.Result
 	for r := 0; r < repeats; r++ {
 		start := time.Now()
-		res := core.Run(g, opts)
+		res = eng.RunInto(g, res)
 		total += time.Since(start)
 		if res.Modularity < qmin {
 			qmin = res.Modularity

@@ -44,8 +44,24 @@ func NewSparseAccum(universe, maxKeys int) *SparseAccum {
 	}
 }
 
-// Universe returns the key-space size the accumulator was built for.
+// Universe returns the current key-space size.
 func (a *SparseAccum) Universe() int { return len(a.vals) }
+
+// Grow extends the key space to at least universe keys in place. Keys touched
+// in the current epoch keep their values; new slots start stale (their zero
+// stamp never matches a live generation). It lets a pooled accumulator follow
+// a growing universe — e.g. an Engine reused on a larger graph — without
+// discarding the amortized key-list capacity already built up.
+func (a *SparseAccum) Grow(universe int) {
+	if universe <= len(a.vals) {
+		return
+	}
+	vals := make([]float64, universe)
+	copy(vals, a.vals)
+	mark := make([]int32, universe)
+	copy(mark, a.mark)
+	a.vals, a.mark = vals, mark
+}
 
 // Reset forgets all touched keys in O(1): it bumps the generation so every
 // slot's stamp becomes stale and truncates the key list. Values are left in

@@ -68,12 +68,25 @@ func Workers(p, n int) int { return normWorkers(p, n) }
 // allocating per chunk. Chunks are still dynamically scheduled; the worker
 // index only identifies the goroutine, not a static range.
 func ForChunkWorker(n, p, grain int, body func(worker, lo, hi int)) {
+	ForChunkWorkerCtx(body, n, p, grain, func(b func(worker, lo, hi int), w, lo, hi int) {
+		b(w, lo, hi)
+	})
+}
+
+// ForChunkWorkerCtx is ForChunkWorker with an explicit context value threaded
+// into the body instead of captured by it. A CAPTURELESS body literal is a
+// static function value, so — unlike the closure-based variants, whose body
+// parameter escapes into the worker goroutines and therefore heap-allocates
+// the capturing closure at every call site — a single-worker call allocates
+// nothing. The pooled-engine hot loops use these ...Ctx forms so a warmed
+// Engine.Run is allocation-free end to end.
+func ForChunkWorkerCtx[C any](ctx C, n, p, grain int, body func(ctx C, worker, lo, hi int)) {
 	p = normWorkers(p, n)
 	if n == 0 {
 		return
 	}
 	if p == 1 {
-		body(0, 0, n)
+		body(ctx, 0, 0, n)
 		return
 	}
 	if grain <= 0 {
@@ -86,7 +99,11 @@ func ForChunkWorker(n, p, grain int, body func(worker, lo, hi int)) {
 	var wg sync.WaitGroup
 	wg.Add(p)
 	for w := 0; w < p; w++ {
-		go func(w int) {
+		// grain is passed as an argument, not captured: a reassigned variable
+		// is captured by reference, and a by-reference capture in the
+		// goroutine closure would heap-box it in the prologue even when the
+		// single-worker path returns early.
+		go func(w, grain int) {
 			defer wg.Done()
 			for {
 				lo := int(cursor.Add(int64(grain))) - grain
@@ -97,9 +114,51 @@ func ForChunkWorker(n, p, grain int, body func(worker, lo, hi int)) {
 				if hi > n {
 					hi = n
 				}
-				body(w, lo, hi)
+				body(ctx, w, lo, hi)
 			}
-		}(w)
+		}(w, grain)
+	}
+	wg.Wait()
+}
+
+// ForChunkCtx is ForChunk with an explicit context value (see
+// ForChunkWorkerCtx for why: captureless bodies make single-worker calls
+// allocation-free). It duplicates the loop rather than adapting through
+// ForChunkWorkerCtx: a generic adapter closure needs the instantiation
+// dictionary and would itself allocate per call.
+func ForChunkCtx[C any](ctx C, n, p, grain int, body func(ctx C, lo, hi int)) {
+	p = normWorkers(p, n)
+	if n == 0 {
+		return
+	}
+	if p == 1 {
+		body(ctx, 0, n)
+		return
+	}
+	if grain <= 0 {
+		grain = n / (p * 8)
+		if grain < 1 {
+			grain = 1
+		}
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(p)
+	for w := 0; w < p; w++ {
+		go func(grain int) {
+			defer wg.Done()
+			for {
+				lo := int(cursor.Add(int64(grain))) - grain
+				if lo >= n {
+					return
+				}
+				hi := lo + grain
+				if hi > n {
+					hi = n
+				}
+				body(ctx, lo, hi)
+			}
+		}(grain)
 	}
 	wg.Wait()
 }
@@ -113,6 +172,15 @@ func ForChunkWorker(n, p, grain int, body func(worker, lo, hi int)) {
 // vertices on skewed inputs) cannot serialize a sweep the way count-based
 // chunking lets them.
 func ForChunkPrefix(prefix []int64, p int, body func(worker, lo, hi int)) {
+	ForChunkPrefixCtx(body, prefix, p, func(b func(worker, lo, hi int), w, lo, hi int) {
+		b(w, lo, hi)
+	})
+}
+
+// ForChunkPrefixCtx is ForChunkPrefix with an explicit context value (see
+// ForChunkWorkerCtx for why: captureless bodies make single-worker calls
+// allocation-free).
+func ForChunkPrefixCtx[C any](ctx C, prefix []int64, p int, body func(ctx C, worker, lo, hi int)) {
 	n := len(prefix) - 1
 	if n <= 0 {
 		return
@@ -120,7 +188,7 @@ func ForChunkPrefix(prefix []int64, p int, body func(worker, lo, hi int)) {
 	p = normWorkers(p, n)
 	total := prefix[n] - prefix[0]
 	if p == 1 || total <= 0 {
-		body(0, 0, n)
+		body(ctx, 0, 0, n)
 		return
 	}
 	chunks := p * 8
@@ -161,7 +229,7 @@ func ForChunkPrefix(prefix []int64, p int, body func(worker, lo, hi int)) {
 				}
 				lo, hi := bound(c), bound(c+1)
 				if lo < hi {
-					body(w, lo, hi)
+					body(ctx, w, lo, hi)
 				}
 			}
 		}(w)
@@ -174,12 +242,21 @@ func ForChunkPrefix(prefix []int64, p int, body func(worker, lo, hi int)) {
 // uniform or when per-worker state (e.g. thread-local accumulators indexed
 // by worker id) is needed.
 func ForStatic(n, p int, body func(worker, lo, hi int)) {
+	ForStaticCtx(body, n, p, func(b func(worker, lo, hi int), w, lo, hi int) {
+		b(w, lo, hi)
+	})
+}
+
+// ForStaticCtx is ForStatic with an explicit context value (see
+// ForChunkWorkerCtx for why: captureless bodies make single-worker calls
+// allocation-free).
+func ForStaticCtx[C any](ctx C, n, p int, body func(ctx C, worker, lo, hi int)) {
 	p = normWorkers(p, n)
 	if n == 0 {
 		return
 	}
 	if p == 1 {
-		body(0, 0, n)
+		body(ctx, 0, 0, n)
 		return
 	}
 	var wg sync.WaitGroup
@@ -190,7 +267,7 @@ func ForStatic(n, p int, body func(worker, lo, hi int)) {
 		go func(w, lo, hi int) {
 			defer wg.Done()
 			if lo < hi {
-				body(w, lo, hi)
+				body(ctx, w, lo, hi)
 			}
 		}(w, lo, hi)
 	}
@@ -201,12 +278,26 @@ func ForStatic(n, p int, body func(worker, lo, hi int)) {
 // deterministic reduction order (per-worker partials combined in worker
 // order), so results are reproducible for a fixed p.
 func SumFloat64(n, p int, f func(i int) float64) float64 {
+	return SumFloat64Ctx(f, n, p, func(f func(i int) float64, i int) float64 { return f(i) })
+}
+
+// SumFloat64Ctx is SumFloat64 with an explicit context value (see
+// ForChunkWorkerCtx for why: captureless bodies make single-worker calls
+// allocation-free).
+func SumFloat64Ctx[C any](ctx C, n, p int, f func(ctx C, i int) float64) float64 {
 	p = normWorkers(p, n)
+	if p == 1 {
+		s := 0.0
+		for i := 0; i < n; i++ {
+			s += f(ctx, i)
+		}
+		return s
+	}
 	partials := make([]float64, p)
-	ForStatic(n, p, func(w, lo, hi int) {
+	ForStaticCtx(partials, n, p, func(partials []float64, w, lo, hi int) {
 		s := 0.0
 		for i := lo; i < hi; i++ {
-			s += f(i)
+			s += f(ctx, i)
 		}
 		partials[w] = s
 	})
@@ -220,6 +311,13 @@ func SumFloat64(n, p int, f func(i int) float64) float64 {
 // SumInt64 is the integer analog of SumFloat64.
 func SumInt64(n, p int, f func(i int) int64) int64 {
 	p = normWorkers(p, n)
+	if p == 1 {
+		var s int64
+		for i := 0; i < n; i++ {
+			s += f(i)
+		}
+		return s
+	}
 	partials := make([]int64, p)
 	ForStatic(n, p, func(w, lo, hi int) {
 		var s int64
@@ -238,15 +336,31 @@ func SumInt64(n, p int, f func(i int) int64) int64 {
 // MaxInt64 computes the maximum of f(i) over [0, n) in parallel. It returns
 // 0 for n == 0.
 func MaxInt64(n, p int, f func(i int) int64) int64 {
+	return MaxInt64Ctx(f, n, p, func(f func(i int) int64, i int) int64 { return f(i) })
+}
+
+// MaxInt64Ctx is MaxInt64 with an explicit context value (see
+// ForChunkWorkerCtx for why: captureless bodies make single-worker calls
+// allocation-free).
+func MaxInt64Ctx[C any](ctx C, n, p int, f func(ctx C, i int) int64) int64 {
 	if n == 0 {
 		return 0
 	}
 	p = normWorkers(p, n)
+	if p == 1 {
+		m := f(ctx, 0)
+		for i := 1; i < n; i++ {
+			if v := f(ctx, i); v > m {
+				m = v
+			}
+		}
+		return m
+	}
 	partials := make([]int64, p)
 	ForStatic(n, p, func(w, lo, hi int) {
-		m := f(lo)
+		m := f(ctx, lo)
 		for i := lo + 1; i < hi; i++ {
-			if v := f(i); v > m {
+			if v := f(ctx, i); v > m {
 				m = v
 			}
 		}

@@ -1,6 +1,8 @@
 // Command grappolo runs parallel Louvain community detection on a graph
 // loaded from a file or generated from the synthetic input suite, and
-// prints the result summary (and optionally the membership).
+// prints the result summary (and optionally the membership). The parallel
+// path goes through the public grappolo API (New → Detect); the -serial
+// flag runs the sequential Louvain reference the paper compares against.
 //
 // Usage:
 //
@@ -12,16 +14,16 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"time"
 
-	"grappolo/internal/core"
-	"grappolo/internal/generate"
-	"grappolo/internal/graph"
-	"grappolo/internal/quality"
+	"grappolo"
+	"grappolo/generate"
 	"grappolo/internal/seq"
+	"grappolo/quality"
 )
 
 func main() {
@@ -62,15 +64,14 @@ func run(args []string) error {
 		return err
 	}
 	if *stats {
-		fmt.Println(graph.ComputeStats(g))
+		fmt.Println(grappolo.ComputeGraphStats(g))
 	}
 
 	var membership []int32
-	var modularity float64
 	start := time.Now()
 	if *serial {
 		res := seq.Run(g, seq.Options{Threshold: *threshold})
-		membership, modularity = res.Membership, res.Modularity
+		membership = res.Membership
 		fmt.Printf("serial louvain: n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
 			g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,
 			len(res.Phases), time.Since(start).Round(time.Millisecond))
@@ -79,44 +80,51 @@ func run(args []string) error {
 		if err != nil {
 			return err
 		}
+		if *objective == "cpm" {
+			// CPM is incompatible with VF (Lemma 3 is a modularity result);
+			// rebuild the preset without the VF preprocessing options.
+			opts = []grappolo.Option{grappolo.Workers(*workers)}
+			if *variant == "vfcolor" {
+				opts = append(opts, grappolo.Coloring(grappolo.Distance1))
+			}
+		}
 		if *threshold > 0 {
-			opts.FinalThreshold = *threshold
+			opts = append(opts, grappolo.Thresholds(0, *threshold))
 		}
 		if *cutoff > 0 {
-			opts.ColoringVertexCutoff = *cutoff
+			opts = append(opts, grappolo.ColoringCutoff(*cutoff))
 		}
 		switch *balance {
 		case "off":
-			opts.ColorBalance = core.BalanceOff
+			opts = append(opts, grappolo.Balance(grappolo.BalanceOff))
 		case "vertex":
-			opts.ColorBalance = core.BalanceVertices
+			opts = append(opts, grappolo.Balance(grappolo.BalanceVertices))
 		case "arc":
-			opts.ColorBalance = core.BalanceArcs
+			opts = append(opts, grappolo.Balance(grappolo.BalanceArcs))
 		case "auto":
-			opts.ColorBalance = core.BalanceAuto
+			opts = append(opts, grappolo.Balance(grappolo.BalanceAuto))
 		default:
 			return fmt.Errorf("unknown balance mode %q (off|vertex|arc|auto)", *balance)
 		}
-		opts.KeepHierarchy = *hierarchy
+		if *hierarchy {
+			opts = append(opts, grappolo.KeepHierarchy())
+		}
 		switch *objective {
 		case "modularity":
 		case "cpm":
-			opts.Objective = core.ObjCPM
-			opts.CPMGamma = *cpmGamma
-			// CPM is incompatible with VF (Lemma 3 is a modularity result)
-			// and unsupported by the preset variants' preprocessing.
-			opts.VertexFollowing = false
-			opts.VFChainCompression = false
+			opts = append(opts, grappolo.CPM(*cpmGamma))
 		default:
 			return fmt.Errorf("unknown objective %q (modularity|cpm)", *objective)
 		}
-		// The CLI runs once per process, so this engine is used a single
-		// time; it exists so the CLI exercises the same Engine pipeline the
-		// pooled consumers run, and so a future serve/watch mode inherits
-		// scratch reuse for free.
-		eng := core.NewEngine(opts)
-		res := eng.Run(g)
-		membership, modularity = res.Membership, res.Modularity
+		det, err := grappolo.New(opts...)
+		if err != nil {
+			return err
+		}
+		res, err := det.Detect(context.Background(), g)
+		if err != nil {
+			return err
+		}
+		membership = res.Membership
 		fmt.Printf("grappolo (%s): n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
 			*variant, g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,
 			len(res.Phases), time.Since(start).Round(time.Millisecond))
@@ -150,7 +158,7 @@ func run(args []string) error {
 			}
 		}
 		if *top > 0 {
-			cs, err := core.AnalyzeCommunities(g, res.Membership, *workers)
+			cs, err := grappolo.AnalyzeCommunities(g, res.Membership, *workers)
 			if err != nil {
 				return err
 			}
@@ -165,7 +173,6 @@ func run(args []string) error {
 			}
 		}
 	}
-	_ = modularity
 
 	if *compare && !*serial {
 		sres := seq.Run(g, seq.Options{})
@@ -190,12 +197,12 @@ func run(args []string) error {
 	return nil
 }
 
-func loadGraph(file, input, scale string, seed uint64, workers int) (*graph.Graph, error) {
+func loadGraph(file, input, scale string, seed uint64, workers int) (*grappolo.Graph, error) {
 	switch {
 	case file != "" && input != "":
 		return nil, fmt.Errorf("use either -file or -input, not both")
 	case file != "":
-		return graph.LoadFile(file, workers)
+		return grappolo.LoadGraph(file, workers)
 	case input != "":
 		sc, err := parseScale(scale)
 		if err != nil {
@@ -220,16 +227,17 @@ func parseScale(s string) (generate.Scale, error) {
 	}
 }
 
-func variantOptions(v string, workers int) (core.Options, error) {
+func variantOptions(v string, workers int) ([]grappolo.Option, error) {
+	base := []grappolo.Option{grappolo.Workers(workers)}
 	switch v {
 	case "baseline":
-		return core.Baseline(workers), nil
+		return base, nil
 	case "vf":
-		return core.BaselineVF(workers), nil
+		return append(base, grappolo.VertexFollowing()), nil
 	case "vfcolor":
-		return core.BaselineVFColor(workers), nil
+		return append(base, grappolo.VertexFollowing(), grappolo.Coloring(grappolo.Distance1)), nil
 	default:
-		return core.Options{}, fmt.Errorf("unknown variant %q (baseline|vf|vfcolor)", v)
+		return nil, fmt.Errorf("unknown variant %q (baseline|vf|vfcolor)", v)
 	}
 }
 

@@ -1,22 +1,64 @@
 // Package grappolo is a Go reproduction of "Parallel heuristics for
 // scalable community detection" (Lu, Halappanavar, Kalyanaraman — IPDPSW
 // 2014 / Parallel Computing 47, 2015): the Grappolo parallel Louvain
-// community-detection system.
+// community-detection system, packaged as a reusable library.
 //
-// The implementation lives under internal/:
+// # Quickstart
 //
-//   - internal/core      — the parallel Louvain engine (Algorithm 1) with
-//     the minimum-label, vertex-following and coloring heuristics
-//   - internal/seq       — the serial Louvain reference the paper compares
-//     against
-//   - internal/graph     — weighted undirected CSR graphs and I/O
-//   - internal/coloring  — parallel distance-1/-2 and balanced coloring
-//   - internal/generate  — synthetic analogs of the paper's 11 inputs
-//   - internal/quality   — partition-comparison measures and performance
-//     profiles
-//   - internal/harness   — the experiment runner behind every table/figure
-//   - internal/par       — goroutine worker pools, prefix sums, atomics,
-//     and the flat sparse accumulator backing every hot loop
+// Build a graph, create a Detector with functional options, detect:
+//
+//	b := grappolo.NewBuilder(34)
+//	for _, e := range edges {
+//		b.AddEdge(e[0], e[1], 1)
+//	}
+//	g := b.Build(0) // 0 workers = all CPUs
+//
+//	det, err := grappolo.New(
+//		grappolo.Workers(8),
+//		grappolo.VertexFollowing(),
+//		grappolo.Coloring(grappolo.Distance1),
+//		grappolo.Balance(grappolo.BalanceAuto),
+//	)
+//	if err != nil { ... }
+//	res, err := det.Detect(ctx, g)
+//	// res.Membership, res.NumCommunities, res.Modularity, res.Phases
+//
+// New validates the whole configuration up front: invalid values and
+// invalid combinations (negative worker counts, CPM without a gamma, CPM
+// with vertex following, Async with coloring, the deprecated rebalancing
+// switch combined with the current one) are errors, never silent
+// corrections. No options at all is the paper's baseline.
+//
+// # Lifecycle: New → Detect → Pool
+//
+// A Detector owns one reusable engine: every Detect recycles all pipeline
+// scratch, so back-to-back detections on same-shaped graphs allocate
+// nothing beyond the Result — and DetectInto recycles that too. A Detector
+// serves one call at a time; for concurrent traffic, a Pool manages a
+// bounded set of engines and hands each request the idle engine whose
+// size class best fits the input graph:
+//
+//	pool, err := grappolo.NewPool(runtime.GOMAXPROCS(0), grappolo.Workers(1))
+//	...
+//	res, err := pool.Detect(ctx, g) // safe from any number of goroutines
+//
+// Detect honors context cancellation cooperatively: the engine polls at
+// level-loop and phase-sweep boundaries and sweeps observe a latched flag
+// once per chunk, so cancellation lands within one chunk of sweep work —
+// or after the currently running preprocessing step (vertex following,
+// coloring, rebuild) completes — while the per-vertex hot loops stay
+// branch-free.
+//
+// Streaming workloads use NewStream, which maintains communities under
+// live edge insertions with batched incremental updates and pooled full
+// re-detections. Synthetic inputs reproducing the paper's 11-graph suite
+// live in grappolo/generate; partition-agreement measures (Table 3) in
+// grappolo/quality.
+//
+// The algorithms, experiment harness and serial baselines live under
+// internal/ (internal/core, internal/graph, internal/coloring,
+// internal/par, internal/seq, internal/harness, ...); the root package and
+// its public subpackages are the supported API.
 //
 // # Flat-accumulator hot path
 //

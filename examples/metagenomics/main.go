@@ -3,19 +3,20 @@
 // communities correspond to protein families — many dense clusters with
 // sparse cross-links and modularity ≈ 0.97. This example reproduces that
 // workload with the SBM analog, clusters it with all three parallel
-// variants, and scores each against the planted protein families using the
-// Table 3 measures.
+// variants through the public API, and scores each against the planted
+// protein families using the Table 3 measures.
 //
 // Run with: go run ./examples/metagenomics
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"grappolo/internal/core"
-	"grappolo/internal/generate"
-	"grappolo/internal/quality"
+	"grappolo"
+	"grappolo/generate"
+	"grappolo/quality"
 )
 
 func main() {
@@ -31,15 +32,27 @@ func main() {
 
 	variants := []struct {
 		name string
-		opts core.Options
+		opts []grappolo.Option
 	}{
-		{"baseline", core.Baseline(0)},
-		{"baseline+vf", core.BaselineVF(0)},
-		{"baseline+vf+color", colorOpts()},
+		{"baseline", nil},
+		{"baseline+vf", []grappolo.Option{grappolo.VertexFollowing()}},
+		{"baseline+vf+color", []grappolo.Option{
+			grappolo.VertexFollowing(),
+			grappolo.Coloring(grappolo.Distance1),
+			grappolo.ColoringCutoff(256), // laptop-scale input; keep coloring active
+		}},
 	}
+	ctx := context.Background()
 	for _, v := range variants {
+		det, err := grappolo.New(v.opts...)
+		if err != nil {
+			panic(err)
+		}
 		start := time.Now()
-		res := core.Run(g, v.opts)
+		res, err := det.Detect(ctx, g)
+		if err != nil {
+			panic(err)
+		}
 		elapsed := time.Since(start)
 		pc, err := quality.ComparePartitions(families, res.Membership)
 		if err != nil {
@@ -49,10 +62,4 @@ func main() {
 		fmt.Printf("%-18s Q=%.4f families=%d time=%-10s %s\n",
 			v.name, res.Modularity, res.NumCommunities, elapsed.Round(time.Millisecond), m)
 	}
-}
-
-func colorOpts() core.Options {
-	o := core.BaselineVFColor(0)
-	o.ColoringVertexCutoff = 256 // laptop-scale input; keep coloring active
-	return o
 }

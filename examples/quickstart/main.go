@@ -1,4 +1,5 @@
-// Quickstart: build a small graph, run parallel Louvain, print communities.
+// Quickstart: build a small graph, run parallel Louvain through the public
+// grappolo API, print communities.
 //
 // The graph is Zachary's karate club (34 vertices, 78 edges), the canonical
 // community-detection example: a university karate club that split into two
@@ -9,11 +10,11 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
-	"grappolo/internal/core"
-	"grappolo/internal/graph"
+	"grappolo"
 )
 
 // karateEdges is the edge list of Zachary's karate club (0-based ids).
@@ -33,19 +34,33 @@ var karateEdges = [][2]int32{
 
 func main() {
 	// 1. Build the graph. Unweighted edges default to weight 1.
-	b := graph.NewBuilder(34)
+	b := grappolo.NewBuilder(34)
 	for _, e := range karateEdges {
 		b.AddEdge(e[0], e[1], 1)
 	}
 	g := b.Build(0) // 0 workers = all CPUs
 
-	// 2. Detect communities with the paper's headline configuration:
+	// 2. Create a Detector with the paper's headline configuration:
 	//    minimum-label heuristic + vertex following + multi-phase coloring.
-	opts := core.BaselineVFColor(0)
-	opts.ColoringVertexCutoff = 1 // tiny graph; color anyway for the demo
-	res := core.Run(g, opts)
+	//    New validates the whole configuration and returns an error for
+	//    invalid combinations instead of silently correcting them.
+	det, err := grappolo.New(
+		grappolo.VertexFollowing(),
+		grappolo.Coloring(grappolo.Distance1),
+		grappolo.ColoringCutoff(1), // tiny graph; color anyway for the demo
+	)
+	if err != nil {
+		panic(err)
+	}
 
-	// 3. Report.
+	// 3. Detect. The context threads cancellation into the pipeline; a
+	//    server would pass its request context here.
+	res, err := det.Detect(context.Background(), g)
+	if err != nil {
+		panic(err)
+	}
+
+	// 4. Report.
 	fmt.Printf("karate club: %d vertices, %d edges\n", g.N(), g.EdgeCount())
 	fmt.Printf("communities: %d, modularity: %.4f, iterations: %d, phases: %d\n",
 		res.NumCommunities, res.Modularity, res.TotalIterations, len(res.Phases))

@@ -9,17 +9,17 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"grappolo/internal/core"
-	"grappolo/internal/generate"
-	"grappolo/internal/graph"
+	"grappolo"
+	"grappolo/generate"
 )
 
 func main() {
 	g := generate.MustGenerate(generate.EuropeOSM, generate.Medium, 0, 0)
-	st := graph.ComputeStats(g)
+	st := grappolo.ComputeGraphStats(g)
 	single := 0
 	for i := 0; i < g.N(); i++ {
 		if g.OutDegree(i) == 1 {
@@ -31,18 +31,26 @@ func main() {
 
 	variants := []struct {
 		name string
-		opts core.Options
+		opts []grappolo.Option
 	}{
-		{"baseline (no VF)", core.Baseline(0)},
-		{"baseline+vf", core.BaselineVF(0)},
-		{"baseline+vf+chain", chainOpts()},
-		{"baseline+vf+color", colorOpts()},
+		{"baseline (no VF)", nil},
+		{"baseline+vf", []grappolo.Option{grappolo.VertexFollowing()}},
+		{"baseline+vf+chain", []grappolo.Option{grappolo.VFChains()}},
+		{"baseline+vf+color", []grappolo.Option{
+			grappolo.VertexFollowing(),
+			grappolo.Coloring(grappolo.Distance1),
+			grappolo.ColoringCutoff(512),
+		}},
 	}
+	ctx := context.Background()
 	fmt.Printf("%-20s %10s %8s %8s %14s %14s\n",
 		"variant", "Q", "iters", "phase1-n", "vf-time", "total-time")
 	for _, v := range variants {
 		start := time.Now()
-		res := core.Run(g, v.opts)
+		res, err := grappolo.Detect(ctx, g, v.opts...)
+		if err != nil {
+			panic(err)
+		}
 		elapsed := time.Since(start)
 		phase1 := 0
 		if len(res.Phases) > 0 {
@@ -52,16 +60,4 @@ func main() {
 			v.name, res.Modularity, res.TotalIterations, phase1,
 			res.Timing.VF.Round(time.Microsecond), elapsed.Round(time.Millisecond))
 	}
-}
-
-func chainOpts() core.Options {
-	o := core.BaselineVF(0)
-	o.VFChainCompression = true
-	return o
-}
-
-func colorOpts() core.Options {
-	o := core.BaselineVFColor(0)
-	o.ColoringVertexCutoff = 512
-	return o
 }

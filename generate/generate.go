@@ -1,0 +1,75 @@
+// Package generate is the public face of the synthetic input suite: 11
+// deterministic generators reproducing the shapes of the paper's Table 1
+// evaluation graphs (degree distribution and community strength are what
+// the paper's analysis keys on) at laptop scale, plus the planted-partition
+// models used for ground-truth scoring.
+//
+// All generators are deterministic for a fixed seed and parallel-safe.
+package generate
+
+import (
+	"grappolo"
+
+	igen "grappolo/internal/generate"
+)
+
+// Input identifies one of the 11 synthetic analogs of the paper's Table 1.
+type Input = igen.Input
+
+// Scale selects how large the synthetic input suite is.
+type Scale = igen.Scale
+
+// SBMConfig parameterizes the planted-partition stochastic block model.
+type SBMConfig = igen.SBMConfig
+
+const (
+	Small  = igen.Small
+	Medium = igen.Medium
+	Large  = igen.Large
+)
+
+const (
+	CNR         = igen.CNR         // web crawl, extreme degree skew
+	CoPapers    = igen.CoPapers    // co-authorship, clique-heavy
+	Channel     = igen.Channel     // uniform mesh, weak communities
+	EuropeOSM   = igen.EuropeOSM   // road network, avg degree ~2
+	LiveJournal = igen.LiveJournal // social, R-MAT
+	MG1         = igen.MG1         // metagenomics, strong communities
+	RGG         = igen.RGG         // random geometric
+	UK2002      = igen.UK2002      // web, skewed (coloring stress)
+	NLPKKT      = igen.NLPKKT      // optimization mesh, poor structure
+	MG2         = igen.MG2         // metagenomics, larger
+	Friendster  = igen.Friendster  // largest social
+)
+
+// Suite returns all 11 inputs in the paper's Table 1 order.
+func Suite() []Input { return igen.Suite() }
+
+// ScaleFromEnv returns the Scale selected by GRAPPOLO_BENCH_SCALE
+// (small | medium | large), defaulting to Medium.
+func ScaleFromEnv() Scale { return igen.ScaleFromEnv() }
+
+// Generate produces the synthetic analog of one paper input at the given
+// scale. workers <= 0 selects all CPUs.
+func Generate(in Input, sc Scale, seed uint64, workers int) (*grappolo.Graph, error) {
+	return igen.Generate(in, sc, seed, workers)
+}
+
+// MustGenerate is Generate panicking on an unknown input name.
+func MustGenerate(in Input, sc Scale, seed uint64, workers int) *grappolo.Graph {
+	return igen.MustGenerate(in, sc, seed, workers)
+}
+
+// SBM generates a planted-partition graph and returns it together with the
+// ground-truth community of every vertex.
+func SBM(cfg SBMConfig, seed uint64, workers int) (*grappolo.Graph, []int32) {
+	return igen.SBM(cfg, seed, workers)
+}
+
+// PowerLawCommunitySizes returns count community sizes following a
+// truncated power law in [min, max] with the given exponent — the size
+// distribution real community structure (protein families, social circles)
+// tends to follow.
+func PowerLawCommunitySizes(count, min, max int, exponent float64, seed uint64) []int {
+	return igen.PowerLawCommunitySizes(count, min, max, exponent, seed)
+}

@@ -1,0 +1,44 @@
+package grappolo
+
+import "grappolo/internal/graph"
+
+// Graph is an immutable weighted undirected graph in CSR (compressed sparse
+// row) form, the input of every detection run. Vertex ids are dense in
+// [0, N()). Build one with NewBuilder/FromEdges, load one with LoadGraph, or
+// use the synthetic suite in the grappolo/generate package.
+//
+// Conventions (paper §2): positive edge weights, self-loops allowed,
+// multi-edges merged by summing weights; the weighted degree k_i sums row i
+// (a self-loop counts once) and m = ½ Σ_i k_i.
+type Graph = graph.Graph
+
+// Builder accumulates edges and materializes an immutable Graph; duplicate
+// edges are merged by summing their weights.
+type Builder = graph.Builder
+
+// Edge is one weighted undirected edge {U, V} for batch construction.
+type Edge = graph.Edge
+
+// GraphStats summarizes a graph's degree distribution exactly as Table 1 of
+// the paper reports it.
+type GraphStats = graph.Stats
+
+// NewBuilder returns a Builder for a graph with n vertices (AddEdge grows
+// the vertex set past n as needed).
+func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
+
+// FromEdges builds a graph with n vertices directly from an edge list using
+// workers parallel workers (<= 0 selects all CPUs).
+func FromEdges(n int, edges []Edge, workers int) *Graph {
+	return graph.FromEdges(n, edges, workers)
+}
+
+// LoadGraph reads a graph file — an edge list, a METIS .graph file, or the
+// binary CSR format — picking the parser by extension and content. workers
+// <= 0 selects all CPUs.
+func LoadGraph(path string, workers int) (*Graph, error) {
+	return graph.LoadFile(path, workers)
+}
+
+// ComputeGraphStats computes Table 1-style degree statistics for g.
+func ComputeGraphStats(g *Graph) GraphStats { return graph.ComputeStats(g) }

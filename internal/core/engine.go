@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"time"
 
 	"grappolo/internal/coloring"
@@ -55,6 +56,16 @@ type Engine struct {
 	vfc      vfCtx // VF loop context (pointer-passed)
 
 	fold foldCtx // membership-fold loop context (pointer-passed)
+
+	// runCtx and cancel carry cooperative cancellation for the duration of
+	// one RunCtx/RunIntoCtx call: the context is polled at the barriers
+	// between chunked passes (phase, iteration and color-set boundaries) and
+	// latched into the par.Cancel flag that sweep bodies observe per chunk,
+	// so hot loops stay branch-light while cancellation still lands within
+	// one chunk of work. Both are cleared when the run returns; plain
+	// Run/RunInto leave runCtx nil and pay only nil checks.
+	runCtx context.Context
+	cancel par.Cancel
 }
 
 // graphSlot owns one coarse graph produced by a rebuild: the CSR arrays and
@@ -66,19 +77,14 @@ type graphSlot struct {
 	weights []float64
 }
 
-// NewEngine validates opts (panicking exactly like Run on an invalid CPM
-// configuration) and returns an empty engine; all scratch is grown on first
-// use.
+// NewEngine validates opts (panicking on any Options.Validate error — the
+// public grappolo package validates first and surfaces the same conditions
+// as errors) and returns an empty engine; all scratch is grown on first use.
 func NewEngine(opts Options) *Engine {
-	opts = opts.Defaults()
-	if opts.Objective == ObjCPM {
-		if opts.CPMGamma <= 0 {
-			panic("core: ObjCPM requires CPMGamma > 0")
-		}
-		if opts.VertexFollowing {
-			panic("core: VertexFollowing requires the modularity objective (Lemma 3 does not hold under CPM)")
-		}
+	if err := opts.Validate(); err != nil {
+		panic(err.Error())
 	}
+	opts = opts.Defaults()
 	return &Engine{
 		opts:    opts,
 		colorSc: coloring.NewScratch(),
@@ -91,7 +97,53 @@ func (e *Engine) Options() Options { return e.opts }
 
 // Run executes the full pipeline on g (see Run's package-level documentation)
 // into a freshly allocated Result.
-func (e *Engine) Run(g *graph.Graph) *Result { return e.RunInto(g, nil) }
+func (e *Engine) Run(g *graph.Graph) *Result {
+	res, _ := e.runInto(nil, g, nil)
+	return res
+}
+
+// RunCtx is Run honoring ctx: cancellation is polled cooperatively at the
+// phase, iteration and color-set barriers of the pipeline and observed per
+// chunk inside the sweeps via the latched par.Cancel flag, so even a single
+// long sweep aborts within one chunk of work. The non-sweep steps (VF,
+// coloring, rebuild) carry no checks and run to completion, bounding the
+// worst-case cancellation latency by one such step. On cancellation it returns
+// (nil, ctx.Err()); the engine's scratch stays consistent and the next run
+// reuses it as usual. A nil or never-canceled context adds only nil checks
+// at the barriers — the per-item hot loops are untouched.
+func (e *Engine) RunCtx(ctx context.Context, g *graph.Graph) (*Result, error) {
+	return e.runInto(ctx, g, nil)
+}
+
+// RunIntoCtx is RunInto honoring ctx (see RunCtx). On cancellation it
+// returns (nil, ctx.Err()) and the contents of res are undefined; res's
+// storage is not retained by the engine and may be passed to a later call.
+func (e *Engine) RunIntoCtx(ctx context.Context, g *graph.Graph, res *Result) (*Result, error) {
+	return e.runInto(ctx, g, res)
+}
+
+// stopRequested polls the run's cancellation source: once the context is
+// done the flag latches, so every later check — including the per-chunk
+// checks inside sweep bodies reading the same flag — is a single atomic
+// load.
+func stopRequested(ctx context.Context, c *par.Cancel) bool {
+	if c.Canceled() {
+		return true
+	}
+	if ctx != nil && ctx.Err() != nil {
+		c.Set()
+		return true
+	}
+	return false
+}
+
+// cancelErr returns the error a canceled run reports.
+func cancelErr(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Canceled
+}
 
 // nextSlot returns the coarse-graph slot for the current rebuild depth,
 // growing the slot list on first descent past the previous maximum.
@@ -174,15 +226,20 @@ func (e *Engine) reaggregateNodeSizes(membership []int32, nodeSize []int64, nc, 
 // colorSets is nil for uncolored phases; arcEven marks arc-rebalanced sets
 // (see phaseState.arcEvenSets); modBuf, when non-nil, is recycled backing for
 // the per-iteration score trace.
-func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring.Coloring, arcEven bool, nodeSize []int64, modBuf []float64) ([]int32, PhaseStats, float64) {
+func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring.Coloring, arcEven bool, nodeSize []int64, modBuf []float64) ([]int32, PhaseStats, float64, bool) {
 	opts := e.opts
 	workers := opts.Workers
 	st := &e.st
 	st.reset(g, opts, nodeSize, workers)
 	st.arcEvenSets = arcEven
+	st.ctx, st.cancel = e.runCtx, &e.cancel
 	stats := PhaseStats{VertexCount: g.N(), Modularity: modBuf[:0]}
 	prevQ := st.score(workers)
 	for iter := 0; opts.MaxIterations == 0 || iter < opts.MaxIterations; iter++ {
+		if st.stop() {
+			st.ctx = nil
+			return nil, stats, prevQ, true
+		}
 		switch {
 		case colorSets != nil:
 			st.sweepColored(colorSets.Sets, workers)
@@ -200,6 +257,11 @@ func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring
 		}
 		prevQ = q
 	}
+	if st.stop() {
+		st.ctx = nil
+		return nil, stats, prevQ, true
+	}
+	st.ctx = nil
 	var dense []int32
 	if opts.SerialRenumber {
 		dense = renumberSerial(st.curr)
@@ -211,7 +273,7 @@ func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring
 		renumberParallelInto(out, occ, st.curr, workers)
 		dense = out
 	}
-	return dense, stats, prevQ
+	return dense, stats, prevQ, false
 }
 
 // RunInto is Run recycling a previous Result: res's membership, phase, trace
@@ -220,10 +282,21 @@ func (e *Engine) runPhase(g *graph.Graph, threshold float64, colorSets *coloring
 // all. The previous contents of res are invalidated. A nil res allocates a
 // fresh Result, which is what Run passes.
 func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
+	res, _ = e.runInto(nil, g, res)
+	return res
+}
+
+// runInto is the shared pipeline behind Run/RunInto/RunCtx/RunIntoCtx. A nil
+// ctx disables cancellation entirely; with a context, cancellation is polled
+// at the level-loop and phase-sweep barriers and the error is ctx.Err().
+func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Result, error) {
 	opts := e.opts
 	workers := opts.Workers
 	n := g.N()
 	e.slot = 0
+	e.runCtx = ctx
+	e.cancel.Reset()
+	defer func() { e.runCtx = nil }()
 
 	if res == nil {
 		res = &Result{}
@@ -244,6 +317,10 @@ func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
 	})
 
 	cur := g
+
+	if stopRequested(ctx, &e.cancel) {
+		return nil, cancelErr(ctx)
+	}
 
 	// Step 1: VF preprocessing (§5.3).
 	if opts.VertexFollowing && n > 0 {
@@ -283,6 +360,9 @@ func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
 	for phase := 0; opts.MaxPhases == 0 || phase < opts.MaxPhases; phase++ {
 		if cur.N() == 0 {
 			break
+		}
+		if stopRequested(ctx, &e.cancel) {
+			return nil, cancelErr(ctx)
 		}
 		// Step 2: coloring decision for this phase (§6.1 policy).
 		colored := colorEnabled
@@ -358,7 +438,10 @@ func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
 			modBuf = oldPhases[phase].Modularity
 		}
 		t0 := time.Now()
-		membership, stats, q := e.runPhase(cur, threshold, cs, arcEven, nodeSize, modBuf)
+		membership, stats, q, aborted := e.runPhase(cur, threshold, cs, arcEven, nodeSize, modBuf)
+		if aborted {
+			return nil, cancelErr(ctx)
+		}
 		stats.ClusterTime = time.Since(t0)
 		stats.Colored = colored
 		if cs != nil {
@@ -428,5 +511,5 @@ func (e *Engine) RunInto(g *graph.Graph, res *Result) *Result {
 	if n == 0 {
 		res.NumCommunities = 0
 	}
-	return res
+	return res, nil
 }

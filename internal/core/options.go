@@ -6,7 +6,10 @@
 // a parallel graph rebuild between phases (§5.5).
 package core
 
-import "time"
+import (
+	"fmt"
+	"time"
+)
 
 // ColoringMode selects how coloring preprocessing is applied across phases.
 type ColoringMode int
@@ -179,12 +182,79 @@ func (o Options) Defaults() Options {
 		o.Resolution = 1
 	}
 	if o.BalancedColoring && o.ColorBalance == BalanceOff {
+		// Canonicalize the deprecated switch: map it and clear it, so a
+		// Defaults output always passes Validate (callers commonly pass
+		// pre-defaulted options back into Run/NewEngine).
 		o.ColorBalance = BalanceVertices
+		o.BalancedColoring = false
 	}
 	if o.AutoBalanceArcRSD <= 0 {
 		o.AutoBalanceArcRSD = 0.5
 	}
 	return o
+}
+
+// Validate reports the configuration errors that Defaults would otherwise
+// silently clamp or coerce. The zero value and every preset are valid; an
+// error means the caller asked for a combination the pipeline either cannot
+// honor (CPM without a gamma, VF under CPM) or would quietly reinterpret
+// (negative counts clamped to defaults, a field that only acts when a
+// sibling field is also set, both the deprecated and the current rebalancing
+// switch at once). NewEngine panics on these; the public grappolo package
+// surfaces them as errors from grappolo.New.
+func (o Options) Validate() error {
+	if o.Workers < 0 {
+		return fmt.Errorf("core: negative Workers %d (0 selects all CPUs)", o.Workers)
+	}
+	if o.ColoredThreshold < 0 {
+		return fmt.Errorf("core: negative ColoredThreshold %v", o.ColoredThreshold)
+	}
+	if o.FinalThreshold < 0 {
+		return fmt.Errorf("core: negative FinalThreshold %v", o.FinalThreshold)
+	}
+	if o.ColoringVertexCutoff < 0 {
+		return fmt.Errorf("core: negative ColoringVertexCutoff %d", o.ColoringVertexCutoff)
+	}
+	if o.MaxIterations < 0 {
+		return fmt.Errorf("core: negative MaxIterations %d (0 means unlimited)", o.MaxIterations)
+	}
+	if o.MaxPhases < 0 {
+		return fmt.Errorf("core: negative MaxPhases %d (0 means unlimited)", o.MaxPhases)
+	}
+	if o.Resolution < 0 {
+		return fmt.Errorf("core: negative Resolution %v", o.Resolution)
+	}
+	if o.AutoBalanceArcRSD < 0 {
+		return fmt.Errorf("core: negative AutoBalanceArcRSD %v", o.AutoBalanceArcRSD)
+	}
+	if o.Coloring < ColorOff || o.Coloring > ColorMultiPhase {
+		return fmt.Errorf("core: unknown ColoringMode %d", o.Coloring)
+	}
+	if o.ColorBalance < BalanceOff || o.ColorBalance > BalanceAuto {
+		return fmt.Errorf("core: unknown ColorBalance %d", o.ColorBalance)
+	}
+	switch o.Objective {
+	case ObjModularity:
+	case ObjCPM:
+		if o.CPMGamma <= 0 {
+			return fmt.Errorf("core: ObjCPM requires CPMGamma > 0 (got %v)", o.CPMGamma)
+		}
+		if o.VertexFollowing || o.VFChainCompression {
+			return fmt.Errorf("core: VertexFollowing requires the modularity objective (Lemma 3 does not hold under CPM)")
+		}
+	default:
+		return fmt.Errorf("core: unknown Objective %d", o.Objective)
+	}
+	if o.VFChainCompression && !o.VertexFollowing {
+		return fmt.Errorf("core: VFChainCompression requires VertexFollowing")
+	}
+	if o.BalancedColoring && o.ColorBalance != BalanceOff {
+		return fmt.Errorf("core: deprecated BalancedColoring combined with ColorBalance; set ColorBalance alone (BalancedColoring alone still maps to BalanceVertices)")
+	}
+	if o.Async && o.Coloring != ColorOff {
+		return fmt.Errorf("core: Async (live-state PLM emulation) is incompatible with coloring")
+	}
+	return nil
 }
 
 // Baseline returns the paper's "baseline" variant (minimum-label only).

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"grappolo/internal/graph"
 	"grappolo/internal/par"
 )
@@ -54,6 +56,21 @@ type phaseState struct {
 	// pointer).
 	refreshFrom []int32 // refreshAggregates input assignment
 	curSet      []int32 // sweepColored's current color set
+	// ctx/cancel carry the owning run's cooperative cancellation (nil when
+	// the run is not cancellable — standalone states and plain Run/RunInto).
+	// ctx is polled at the barriers between sweeps and color sets; the
+	// latched cancel flag is what sweep bodies observe once per chunk, so
+	// the per-vertex hot loops stay branch-free.
+	ctx    context.Context
+	cancel *par.Cancel
+}
+
+// stop polls the owning run's cancellation source (see stopRequested): a
+// latched flag first — one atomic load, the form the per-chunk checks
+// inside sweep bodies take after the first hit — then the context, which
+// latches the flag for everyone else.
+func (st *phaseState) stop() bool {
+	return stopRequested(st.ctx, st.cancel)
 }
 
 // reset prepares st for one phase over g, recycling every buffer.
@@ -261,6 +278,9 @@ func (st *phaseState) sweepUncolored(workers int) {
 	copy(st.prev, st.curr)
 	st.refreshAggregates(st.prev, workers)
 	par.ForChunkPrefixCtx(st, st.g.ArcOffsets(), workers, func(st *phaseState, w, lo, hi int) {
+		if st.stop() { // per-chunk cancellation check; results are discarded
+			return
+		}
 		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
 			st.curr[i] = st.decide(i, st.prev, acc, false, false)
@@ -272,6 +292,9 @@ func (st *phaseState) sweepUncolored(workers int) {
 // reading the LIVE community state and update the aggregates atomically on
 // migration.
 func sweepColoredSet(st *phaseState, w, lo, hi int) {
+	if st.stop() { // per-chunk cancellation check; results are discarded
+		return
+	}
 	acc := st.scratch[w]
 	set := st.curSet
 	for t := lo; t < hi; t++ {
@@ -317,6 +340,12 @@ func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 		st.prefixReady = true
 	}
 	for si, set := range sets {
+		// Color-set boundaries are the natural barriers of a colored sweep;
+		// a canceled run abandons the remaining sets here (the owning
+		// runPhase observes the same flag and unwinds).
+		if st.stop() {
+			break
+		}
 		st.curSet = set
 		if st.arcEvenSets {
 			par.ForChunkWorkerCtx(st, len(set), workers, 0, sweepColoredSet)
@@ -334,6 +363,9 @@ func (st *phaseState) sweepColored(sets [][]int32, workers int) {
 func (st *phaseState) sweepAsync(workers int) {
 	st.refreshAggregates(st.curr, workers)
 	par.ForChunkPrefixCtx(st, st.g.ArcOffsets(), workers, func(st *phaseState, w, lo, hi int) {
+		if st.stop() { // per-chunk cancellation check; results are discarded
+			return
+		}
 		acc := st.scratch[w]
 		for i := lo; i < hi; i++ {
 			old := atomicLoad32(&st.curr[i])

@@ -1,0 +1,35 @@
+package par
+
+import "sync/atomic"
+
+// Cancel is the cooperative cancellation flag shared between a loop driver
+// and the chunked worker-pool loops. The pools themselves never poll it —
+// their per-item hot loops stay branch-free — instead the convention is:
+//
+//   - the driver polls its cancellation source (typically a context) at the
+//     BARRIERS between chunked passes (every ForChunk*/ForStatic call is a
+//     barrier: it returns only after all chunks finish) and calls Set once
+//     cancellation is requested;
+//   - loop BODIES that want sub-pass promptness check Canceled once per
+//     chunk on entry — one atomic load per chunk, amortized over the whole
+//     chunk's items — and return early, draining the remaining chunks in
+//     O(chunks) flag loads.
+//
+// Abandoned passes may leave their outputs partially written; callers
+// discard all results of a canceled computation, so the only requirement is
+// that the scratch stays structurally reusable (which resizing-on-reset
+// buffers guarantee).
+//
+// The zero value is ready to use and not canceled. A nil *Cancel is a valid
+// never-canceled flag, so cancellation-free paths pay a single nil check.
+type Cancel struct{ flag atomic.Bool }
+
+// Set requests cancellation. Safe for concurrent use with Canceled.
+func (c *Cancel) Set() { c.flag.Store(true) }
+
+// Reset re-arms the flag for a new computation.
+func (c *Cancel) Reset() { c.flag.Store(false) }
+
+// Canceled reports whether Set has been called. It is nil-safe: a nil
+// receiver reports false, so optional cancellation costs one comparison.
+func (c *Cancel) Canceled() bool { return c != nil && c.flag.Load() }

@@ -1,0 +1,46 @@
+package par
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestCancelNilSafe(t *testing.T) {
+	var c *Cancel
+	if c.Canceled() {
+		t.Fatal("nil Cancel reports canceled")
+	}
+}
+
+func TestCancelSetResetAndConcurrentReaders(t *testing.T) {
+	var c Cancel
+	if c.Canceled() {
+		t.Fatal("zero Cancel reports canceled")
+	}
+	c.Set()
+	if !c.Canceled() {
+		t.Fatal("Set not observed")
+	}
+	c.Reset()
+	if c.Canceled() {
+		t.Fatal("Reset not observed")
+	}
+
+	// A set flag must become visible to workers polling it from a chunked
+	// loop body (the intended use: one check per chunk).
+	var wg sync.WaitGroup
+	var seen sync.WaitGroup
+	seen.Add(4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for !c.Canceled() {
+			}
+			seen.Done()
+		}()
+	}
+	c.Set()
+	seen.Wait()
+	wg.Wait()
+}

@@ -1,0 +1,7 @@
+//go:build !race
+
+package grappolo_test
+
+// raceEnabled gates allocation-regression tests: the race detector's
+// instrumentation allocates, so zero-alloc assertions only hold without it.
+const raceEnabled = false

@@ -1,0 +1,152 @@
+package grappolo
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"grappolo/internal/core"
+)
+
+// Pool serves concurrent Detect calls from a bounded set of reusable
+// engines — the serving shell for long-lived clustering services: one
+// engine per in-flight request, engines recycled back to back so warm
+// steady-state requests perform zero scratch allocations, and at most Size
+// engines (and Size concurrent detections) ever exist. Additional callers
+// block until an engine frees up, keeping memory and CPU bounded under
+// bursts.
+//
+// Engines are handed out by size class: a request is served by the idle
+// engine with the smallest high-water vertex count that already fits the
+// graph, so small requests do not inflate every engine to the largest graph
+// the pool has ever seen, and a same-shaped request hits an engine whose
+// scratch needs no growth at all. Results are bit-identical to a fresh
+// one-shot detection with the same configuration regardless of which engine
+// serves the call or in what order requests land.
+//
+// A Pool is safe for concurrent use by multiple goroutines.
+type Pool struct {
+	opts core.Options
+	sem  chan struct{} // one permit per engine; cap(sem) == Size()
+
+	mu   sync.Mutex
+	idle []*pooledEngine
+}
+
+// pooledEngine pairs an engine with the largest graph shape it has served,
+// the size class used to match idle engines to requests.
+type pooledEngine struct {
+	eng  *core.Engine
+	maxN int
+}
+
+// NewPool validates opts (exactly like New) and returns a Pool of at most
+// size engines. size <= 0 selects GOMAXPROCS. Engines are created lazily on
+// demand, so an oversized pool costs nothing until the concurrency actually
+// materializes.
+func NewPool(size int, opts ...Option) (*Pool, error) {
+	if size <= 0 {
+		size = runtime.GOMAXPROCS(0)
+	}
+	o, err := buildOptions(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &Pool{
+		opts: o,
+		sem:  make(chan struct{}, size),
+		idle: make([]*pooledEngine, 0, size),
+	}, nil
+}
+
+// Size returns the maximum number of engines (and concurrent detections).
+func (p *Pool) Size() int { return cap(p.sem) }
+
+// Detect acquires an engine (blocking until one is available or ctx is
+// done), runs detection on g, and returns a fresh Result independent of the
+// pool. See Detector.Detect for the cancellation contract.
+func (p *Pool) Detect(ctx context.Context, g *Graph) (*Result, error) {
+	return p.DetectInto(ctx, g, nil)
+}
+
+// DetectInto is Detect recycling a caller-provided Result (see
+// Detector.DetectInto): a serving loop that passes its previous Result back
+// in makes warm same-shape requests allocate nothing at all. A nil res
+// allocates a fresh Result.
+func (p *Pool) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	select {
+	case p.sem <- struct{}{}:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	pe := p.take(g.N())
+	// Deferred release: a panicking run (engine bug surfaced to a server
+	// that recovers per request) must not leak the permit and engine, or
+	// Size panics would shrink the pool into a permanent deadlock. The
+	// maxN update runs before the defer fires, so an engine is never
+	// visible in the idle list with a stale size class.
+	defer func() {
+		p.put(pe)
+		<-p.sem
+	}()
+	res, err := pe.eng.RunIntoCtx(ctx, g, res)
+	// Only a completed run has demonstrably grown the engine's scratch to
+	// this shape; a canceled run may have bailed before touching it, and
+	// counting it would misclassify a cold engine as the warmest fit.
+	if n := g.N(); err == nil && n > pe.maxN {
+		pe.maxN = n
+	}
+	return res, err
+}
+
+// take pops the best-fitting idle engine for an n-vertex request: the
+// smallest engine that already fits (no scratch growth), else the largest
+// (least growth), else — while fewer than Size engines exist, guaranteed by
+// the permit held by the caller — a brand-new engine.
+func (p *Pool) take(n int) *pooledEngine {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	best := -1
+	for i, pe := range p.idle {
+		if pe.maxN >= n && (best < 0 || pe.maxN < p.idle[best].maxN) {
+			best = i
+		}
+	}
+	if best < 0 {
+		for i, pe := range p.idle {
+			if best < 0 || pe.maxN > p.idle[best].maxN {
+				best = i
+			}
+		}
+	}
+	if best < 0 {
+		return &pooledEngine{eng: core.NewEngine(p.opts)}
+	}
+	last := len(p.idle) - 1
+	pe := p.idle[best]
+	p.idle[best] = p.idle[last]
+	p.idle[last] = nil
+	p.idle = p.idle[:last]
+	return pe
+}
+
+// put returns an engine to the idle list. The append never allocates:
+// len(idle) is bounded by the engine count, which the permits bound by
+// Size, the slice's initial capacity.
+func (p *Pool) put(pe *pooledEngine) {
+	p.mu.Lock()
+	p.idle = append(p.idle, pe)
+	p.mu.Unlock()
+}
+
+// String describes the pool for logs.
+func (p *Pool) String() string {
+	p.mu.Lock()
+	idle := len(p.idle)
+	p.mu.Unlock()
+	return fmt.Sprintf("grappolo.Pool(size=%d, idle=%d)", p.Size(), idle)
+}

@@ -1,0 +1,115 @@
+package grappolo_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"testing"
+
+	"grappolo"
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+)
+
+// TestPoolConcurrentDetectMatchesFreshRun pins the Pool's serving
+// guarantee under the race detector: N goroutines hammering Detect with a
+// mix of graph shapes each get results bit-identical to a fresh one-shot
+// core.Run with the equivalent options, no matter which pooled engine (in
+// whatever reuse order) serves them. Uncolored sweeps are deterministic at
+// any worker count, so Workers(4) is safe to compare exactly.
+func TestPoolConcurrentDetectMatchesFreshRun(t *testing.T) {
+	inputs := []generate.Input{generate.CNR, generate.MG1, generate.EuropeOSM}
+	graphs := make([]*grappolo.Graph, len(inputs))
+	wants := make([]*grappolo.Result, len(inputs))
+	for i, in := range inputs {
+		graphs[i] = generate.MustGenerate(in, generate.Small, 0, 4)
+		wants[i] = core.Run(graphs[i], core.Options{Workers: 4})
+	}
+
+	pool, err := grappolo.NewPool(3, grappolo.Workers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 8
+	const perG = 6
+	ctx := context.Background()
+	var wg sync.WaitGroup
+	errs := make(chan error, goroutines)
+	for w := 0; w < goroutines; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			var res *grappolo.Result
+			var err error
+			for r := 0; r < perG; r++ {
+				gi := (w + r) % len(graphs)
+				// Alternate fresh and recycled results to cover both paths.
+				if r%2 == 0 {
+					res, err = pool.Detect(ctx, graphs[gi])
+				} else {
+					res, err = pool.DetectInto(ctx, graphs[gi], res)
+				}
+				if err != nil {
+					errs <- err
+					return
+				}
+				want := wants[gi]
+				if res.Modularity != want.Modularity ||
+					res.NumCommunities != want.NumCommunities ||
+					res.TotalIterations != want.TotalIterations {
+					errs <- fmt.Errorf("goroutine %d req %d on %s: Q=%v nc=%d iters=%d, want Q=%v nc=%d iters=%d",
+						w, r, inputs[gi], res.Modularity, res.NumCommunities, res.TotalIterations,
+						want.Modularity, want.NumCommunities, want.TotalIterations)
+					return
+				}
+				for v := range want.Membership {
+					if res.Membership[v] != want.Membership[v] {
+						errs <- fmt.Errorf("goroutine %d req %d on %s: membership differs at vertex %d", w, r, inputs[gi], v)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolRespectsContextWhileQueued pins the acquisition path: a done
+// context makes Detect return ctx.Err() whether it loses the race for a
+// permit or wins it (the engine's own pre-run check catches the latter).
+func TestPoolRespectsContextWhileQueued(t *testing.T) {
+	g := generate.MustGenerate(generate.CNR, generate.Small, 0, 4)
+	pool, err := grappolo.NewPool(1, grappolo.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if res, err := pool.Detect(ctx, g); !errors.Is(err, context.Canceled) || res != nil {
+		t.Fatalf("canceled pool Detect: res=%v err=%v, want nil, context.Canceled", res, err)
+	}
+	// The pool stays healthy after a canceled request.
+	if _, err := pool.Detect(context.Background(), g); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoolDefaultsAndValidation covers sizing defaults and option errors.
+func TestPoolDefaultsAndValidation(t *testing.T) {
+	pool, err := grappolo.NewPool(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pool.Size() != runtime.GOMAXPROCS(0) {
+		t.Fatalf("Size=%d, want GOMAXPROCS=%d", pool.Size(), runtime.GOMAXPROCS(0))
+	}
+	if _, err := grappolo.NewPool(2, grappolo.Workers(-2)); err == nil {
+		t.Fatal("NewPool accepted invalid options")
+	}
+}

@@ -1,0 +1,21 @@
+// Package quality is the public face of the partition-comparison measures
+// the paper's Table 3 reports: pair-counting agreement (Rand, adjusted
+// Rand, Jaccard) and normalized mutual information between two community
+// assignments, e.g. a detected partition against planted ground truth.
+package quality
+
+import iq "grappolo/internal/quality"
+
+// PairCounts holds the contingency pair counts of two partitions; Derive
+// turns them into the agreement measures.
+type PairCounts = iq.PairCounts
+
+// Measures are the derived agreement measures (Table 3).
+type Measures = iq.Measures
+
+// ComparePartitions computes the pair counts between two equal-length dense
+// community assignments.
+func ComparePartitions(s, p []int32) (PairCounts, error) { return iq.ComparePartitions(s, p) }
+
+// NMI computes the normalized mutual information between two assignments.
+func NMI(s, p []int32) (float64, error) { return iq.NMI(s, p) }

@@ -1,0 +1,7 @@
+//go:build race
+
+package grappolo_test
+
+// raceEnabled reports that the race detector is active; allocation-
+// regression tests skip themselves (instrumentation allocates).
+const raceEnabled = true

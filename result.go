@@ -1,0 +1,42 @@
+package grappolo
+
+import "grappolo/internal/core"
+
+// Result is the output of a detection run: the dense community membership
+// of every input vertex, the modularity (or CPM score) achieved, and full
+// per-phase instrumentation. See the fields of the aliased internal type;
+// the alias keeps the public surface and the engine's zero-copy result
+// recycling (DetectInto) one and the same type.
+type Result = core.Result
+
+// PhaseStats traces one phase of a run: convergence trajectory, per-step
+// timings, and coloring statistics.
+type PhaseStats = core.PhaseStats
+
+// Breakdown aggregates wall-clock time per algorithm step (vertex
+// following, coloring, clustering, rebuild).
+type Breakdown = core.Breakdown
+
+// CommunityStats summarizes one detected community: size, internal and cut
+// weight, conductance, and local modularity contribution.
+type CommunityStats = core.CommunityStats
+
+// Modularity computes standard modularity (Eq. 3 of the paper, with
+// resolution gamma; pass 1 for the standard definition) for an arbitrary
+// assignment on g — use it to score external partitions (e.g. ground truth)
+// with the same parallel kernel the detector uses. workers <= 0 selects all
+// CPUs.
+func Modularity(g *Graph, membership []int32, gamma float64, workers int) float64 {
+	return core.Modularity(g, membership, gamma, workers)
+}
+
+// AnalyzeCommunities computes per-community statistics for a membership on
+// g, sorted by decreasing size. workers <= 0 selects all CPUs.
+func AnalyzeCommunities(g *Graph, membership []int32, workers int) ([]CommunityStats, error) {
+	return core.AnalyzeCommunities(g, membership, workers)
+}
+
+// CommunitySizes returns the size of each community of a dense membership.
+func CommunitySizes(membership []int32) []int {
+	return core.CommunitySizes(membership)
+}

@@ -158,3 +158,24 @@ func TestLoadGraphFromBinary(t *testing.T) {
 		t.Fatalf("n=%d", got.N())
 	}
 }
+
+func TestRunServeMode(t *testing.T) {
+	path := writeTempGraph(t)
+	if err := run([]string{"-file", path, "-serve", "-clients", "3", "-requests", "7", "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunServeModeBatched(t *testing.T) {
+	path := writeTempGraph(t)
+	if err := run([]string{"-file", path, "-serve", "-batch", "-clients", "4", "-requests", "16", "-workers", "1", "-q"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBatchRequiresServe(t *testing.T) {
+	path := writeTempGraph(t)
+	if err := run([]string{"-file", path, "-batch"}); err == nil {
+		t.Fatal("-batch without -serve must be rejected")
+	}
+}

@@ -49,6 +49,41 @@
 // coloring, rebuild) completes — while the per-vertex hot loops stay
 // branch-free.
 //
+// # Request batching: Pool vs Batcher
+//
+// A Pool bounds concurrency and reuses engines, but every request runs
+// privately: ten dashboards asking about the same graph cost ten engine
+// runs. A Batcher in front of the pool coalesces them — concurrent Detect
+// calls whose graph is identical share ONE engine run, fanned back out as
+// independent Result copies:
+//
+//	bat := grappolo.NewBatcher(pool)
+//	res, err := bat.Detect(ctx, g) // duplicates coalesce; result is private
+//
+// When coalescing applies: requests are grouped by a structural graph
+// fingerprint (pointer-identity fast path, then exact vertex/arc counts and
+// weight sum plus a sampled CSR content hash) while they overlap in flight;
+// a request arriving after the shared run sealed starts a new batch. All
+// requests through one Batcher share its pool's options, so only graph
+// identity varies. Fingerprint caveat: the sampled hash is O(1) in graph
+// size, so two LARGE graphs agreeing on vertex/arc counts and total weight
+// that differ only in unsampled arcs would be coalesced wrongly; graphs
+// under the 64-sample budget are hashed in full. Traffic for which that
+// risk is unacceptable should use the Pool directly.
+//
+// Fairness and cancellation: pool admission is FIFO (a fair semaphore — no
+// barging, so no request starves behind later arrivals), batch leaders
+// inherit that order, and followers piggyback without consuming permits. A
+// follower canceled while waiting returns its own ctx.Err() immediately; a
+// canceled queued request passes its turn on without losing a permit; and
+// a canceled batch LEADER never poisons its followers — they transparently
+// retry and one becomes the new leader. PoolStats (Pool.Stats /
+// Batcher.Stats) counts runs Led, requests Batched, Waited and Canceled;
+// under duplicate load Batched/Led is the coalescing win. Warm same-shape
+// batched DetectInto stays zero-alloc on the leader path and O(1) per
+// follower (pinned by TestBatcherWarmZeroAllocs; BenchmarkBatcherDetect
+// measures batched vs unbatched duplicate load).
+//
 // Streaming workloads use NewStream, which maintains communities under
 // live edge insertions with batched incremental updates and pooled full
 // re-detections. Synthetic inputs reproducing the paper's 11-graph suite

@@ -1,0 +1,29 @@
+package grappolo
+
+import "context"
+
+// Test hooks: the fairness and coalescing tests need to park the pool's
+// engines deterministically (so requests pile up in a known admission
+// order) and to observe the admission queue. Compiled into the package only
+// under test.
+
+// HoldEnginePermit takes one of p's engine permits directly, queuing FIFO
+// like a request would, without running anything. Pair with
+// ReleaseEnginePermit.
+func (p *Pool) HoldEnginePermit(ctx context.Context) error { return p.sem.Acquire(ctx) }
+
+// ReleaseEnginePermit returns a permit taken by HoldEnginePermit.
+func (p *Pool) ReleaseEnginePermit() { p.sem.Release() }
+
+// QueuedWaiters returns the number of requests currently queued for an
+// engine (canceled entries excluded).
+func (p *Pool) QueuedWaiters() int { return p.sem.QueueLen() }
+
+// AvailablePermits returns the number of free engine permits.
+func (p *Pool) AvailablePermits() int { return p.sem.Available() }
+
+// JoinedFollowers returns the number of followers that have ATTACHED to a
+// batch so far (PoolStats.Batched counts only followers actually served by
+// a shared run, which happens later — tests choreographing a pile-up need
+// the attach-time signal).
+func (b *Batcher) JoinedFollowers() int64 { return b.joins.Load() }

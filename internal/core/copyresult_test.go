@@ -1,0 +1,75 @@
+package core
+
+import (
+	"testing"
+
+	"grappolo/internal/generate"
+)
+
+// TestCopyResultIntoDeepAndRecycling pins the shared-result fan-out entry:
+// the copy equals the source field for field (including hierarchy levels
+// and per-phase traces), is fully independent of it (mutating one never
+// shows in the other — the batcher recycles the source immediately after
+// fan-out), and recycles the destination's storage so a warm same-shape
+// copy allocates nothing.
+func TestCopyResultIntoDeepAndRecycling(t *testing.T) {
+	g := generate.MustGenerate(generate.RGG, generate.Small, 7, 4)
+	for name, opts := range engineConfigs() {
+		opts.KeepHierarchy = true
+		src := Run(g, opts)
+
+		dst := CopyResultInto(nil, src)
+		sameResult(t, name+"/fresh", dst, src)
+		for i := range src.Phases {
+			if len(dst.Phases[i].Modularity) != len(src.Phases[i].Modularity) {
+				t.Fatalf("%s: phase %d trace length differs", name, i)
+			}
+		}
+
+		// Independence: wreck the copy, the source must not notice.
+		dst.Membership[0] = -99
+		if len(dst.Levels) > 0 {
+			dst.Levels[0][0] = -99
+		}
+		if len(dst.Phases) > 0 && len(dst.Phases[0].Modularity) > 0 {
+			dst.Phases[0].Modularity[0] = -99
+		}
+		if src.Membership[0] == -99 {
+			t.Fatalf("%s: copy aliases source membership", name)
+		}
+		if len(src.Levels) > 0 && src.Levels[0][0] == -99 {
+			t.Fatalf("%s: copy aliases source hierarchy", name)
+		}
+		if len(src.Phases) > 0 && len(src.Phases[0].Modularity) > 0 && src.Phases[0].Modularity[0] == -99 {
+			t.Fatalf("%s: copy aliases source phase trace", name)
+		}
+
+		// Recycling: copying over a same-shape destination reuses all its
+		// storage and repairs the wreckage.
+		again := CopyResultInto(dst, src)
+		if again != dst {
+			t.Fatalf("%s: CopyResultInto did not return its destination", name)
+		}
+		sameResult(t, name+"/recycled", dst, src)
+	}
+}
+
+// TestCopyResultIntoWarmZeroAllocs pins the allocation contract the batcher
+// leader path relies on.
+func TestCopyResultIntoWarmZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	g := generate.MustGenerate(generate.RGG, generate.Small, 7, 1)
+	src := Run(g, Options{Workers: 1, KeepHierarchy: true})
+	dst := CopyResultInto(nil, src)
+	allocs := testing.AllocsPerRun(10, func() {
+		dst = CopyResultInto(dst, src)
+	})
+	if allocs != 0 {
+		t.Errorf("warm same-shape CopyResultInto allocates %v times, want 0", allocs)
+	}
+	if CopyResultInto(src, src) != src {
+		t.Fatal("self-copy must be the identity")
+	}
+}

@@ -122,6 +122,52 @@ func (e *Engine) RunIntoCtx(ctx context.Context, g *graph.Graph, res *Result) (*
 	return e.runInto(ctx, g, res)
 }
 
+// CopyResultInto deep-copies src into dst, reusing dst's membership, phase,
+// trace and hierarchy storage (grown only when the shapes differ), and
+// returns dst; a nil dst allocates a fresh Result. It is the shared-result
+// fan-out entry for the serving layer: one engine run writes a single
+// Result, and CopyResultInto hands every coalesced waiter an independent
+// copy with exactly the ownership semantics of a private run. A warm
+// same-shape copy performs zero allocations. dst == src is a no-op.
+func CopyResultInto(dst, src *Result) *Result {
+	if dst == nil {
+		dst = &Result{}
+	}
+	if dst == src {
+		return dst
+	}
+	dst.Membership = par.Resize(dst.Membership, len(src.Membership))
+	copy(dst.Membership, src.Membership)
+	dst.NumCommunities = src.NumCommunities
+	dst.Modularity = src.Modularity
+	dst.TotalIterations = src.TotalIterations
+	dst.Timing = src.Timing
+	// Per-phase traces recycle the previous copy's backing by index — the
+	// same convention runInto uses for RunInto results.
+	oldPhases := dst.Phases
+	dst.Phases = par.Resize(dst.Phases, len(src.Phases))
+	for i, ph := range src.Phases {
+		var trace []float64
+		if i < len(oldPhases) {
+			trace = oldPhases[i].Modularity[:0]
+		}
+		ph.Modularity = append(trace, ph.Modularity...)
+		dst.Phases[i] = ph
+	}
+	oldLevels := dst.Levels
+	dst.Levels = par.Resize(dst.Levels, len(src.Levels))
+	for i, level := range src.Levels {
+		var dl []int32
+		if i < len(oldLevels) {
+			dl = oldLevels[i]
+		}
+		dl = par.Resize(dl, len(level))
+		copy(dl, level)
+		dst.Levels[i] = dl
+	}
+	return dst
+}
+
 // stopRequested polls the run's cancellation source: once the context is
 // done the flag latches, so every later check — including the per-chunk
 // checks inside sweep bodies reading the same flag — is a single atomic

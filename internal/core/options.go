@@ -8,6 +8,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 )
 
@@ -205,6 +206,23 @@ func (o Options) Defaults() Options {
 func (o Options) Validate() error {
 	if o.Workers < 0 {
 		return fmt.Errorf("core: negative Workers %d (0 selects all CPUs)", o.Workers)
+	}
+	// NaN slips through every sign test below (NaN < 0 is false), and a NaN
+	// threshold would make the iteration loop's gain test never fire — an
+	// unbounded run. Reject non-finite values outright.
+	for _, f := range [...]struct {
+		name string
+		v    float64
+	}{
+		{"ColoredThreshold", o.ColoredThreshold},
+		{"FinalThreshold", o.FinalThreshold},
+		{"Resolution", o.Resolution},
+		{"AutoBalanceArcRSD", o.AutoBalanceArcRSD},
+		{"CPMGamma", o.CPMGamma},
+	} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return fmt.Errorf("core: %s must be finite, got %v", f.name, f.v)
+		}
 	}
 	if o.ColoredThreshold < 0 {
 		return fmt.Errorf("core: negative ColoredThreshold %v", o.ColoredThreshold)

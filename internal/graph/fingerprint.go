@@ -1,0 +1,68 @@
+package graph
+
+import "math"
+
+// Fingerprint is a cheap structural identity for a Graph, used by the
+// serving layer to coalesce concurrent detections on the same input: two
+// graphs with equal fingerprints are treated as the same graph. It combines
+// the exact vertex count, arc count and total-weight bits with a sampled
+// content hash over the CSR arrays, so it costs O(fpSamples) regardless of
+// graph size and is comparable (usable directly as a map key).
+//
+// The guarantee is one-sided: graphs that differ in N, Arcs or total weight
+// always differ, and graphs below fpSamples vertices/arcs are hashed in
+// full, but two LARGE graphs that agree on all of those and differ only in
+// arcs the sample stride skips will collide. That is the documented
+// trade-off of batching by fingerprint — callers for whom silent coalescing
+// of near-identical large graphs is unacceptable should not route them
+// through a batcher (see the grappolo package docs).
+type Fingerprint struct {
+	N     int
+	Arcs  int64
+	WBits uint64 // math.Float64bits of the total weight 2m
+	Hash  uint64 // sampled CSR content hash
+}
+
+// fpSamples bounds the number of row offsets and arc entries mixed into
+// Fingerprint.Hash. 64 samples keep the fingerprint cheaper than a single
+// sweep chunk while covering every vertex and arc of small graphs exactly.
+const fpSamples = 64
+
+// Fingerprint computes the structural fingerprint of g. It is deterministic
+// for a given graph content (the CSR form is canonical: rows sorted,
+// duplicates merged), so equal graphs built independently fingerprint
+// equal, whatever worker count built them.
+func (g *Graph) Fingerprint() Fingerprint {
+	n := g.N()
+	arcs := int64(len(g.adj))
+	wbits := math.Float64bits(g.totalW)
+	h := uint64(0x9e3779b97f4a7c15)
+	h = fpMix(h, uint64(n))
+	h = fpMix(h, uint64(arcs))
+	h = fpMix(h, wbits)
+	if n > 0 {
+		step := n/fpSamples + 1
+		for i := 0; i < n; i += step {
+			h = fpMix(h, uint64(g.offsets[i+1]))
+		}
+	}
+	if arcs > 0 {
+		step := arcs/fpSamples + 1
+		for j := int64(0); j < arcs; j += step {
+			h = fpMix(h, uint64(uint32(g.adj[j])))
+			h = fpMix(h, math.Float64bits(g.weights[j]))
+		}
+	}
+	return Fingerprint{N: n, Arcs: arcs, WBits: wbits, Hash: h}
+}
+
+// fpMix folds x into h with the splitmix64 finalizer — strong enough
+// avalanche that sampled single-entry differences flip the hash.
+func fpMix(h, x uint64) uint64 {
+	h ^= x
+	h *= 0xbf58476d1ce4e5b9
+	h ^= h >> 27
+	h *= 0x94d049bb133111eb
+	h ^= h >> 31
+	return h
+}

@@ -1,0 +1,213 @@
+package par
+
+import (
+	"context"
+	"sync"
+)
+
+// FairSem is a FIFO counting semaphore: permits are granted to waiters in
+// strict arrival order, so a burst of acquirers drains in the order it
+// arrived no matter how the scheduler interleaves them. It is the admission
+// primitive behind the serving layer's fairness guarantee — a plain
+// channel-based semaphore leaves the grant order to the runtime, which is
+// FIFO today but undocumented, and offers no way to observe queue state.
+//
+// Cancellation never loses a permit: a waiter whose context fires before it
+// is granted removes itself from the queue (its turn passes to the next
+// waiter in line), and a waiter whose grant races with its cancellation
+// hands the permit straight on to the next waiter before returning the
+// context's error.
+//
+// Waiter records are free-listed and their signal channels reused, so a
+// steady acquire/release cycle allocates nothing once warm.
+type FairSem struct {
+	mu     sync.Mutex
+	cap    int
+	avail  int
+	head   *semWaiter // FIFO queue of blocked acquirers
+	tail   *semWaiter
+	free   *semWaiter // recycled waiter records
+	waited int64      // total acquires that had to queue (monotonic)
+}
+
+// semWaiter is one queued acquirer. The ready channel has capacity 1 and is
+// sent to exactly once per grant, always under the semaphore mutex, so a
+// canceling waiter that observes granted can drain it without blocking.
+type semWaiter struct {
+	ready    chan struct{}
+	next     *semWaiter
+	granted  bool
+	canceled bool
+}
+
+// NewFairSem returns a semaphore with n permits. n must be positive.
+func NewFairSem(n int) *FairSem {
+	if n < 1 {
+		panic("par: FairSem needs at least one permit")
+	}
+	return &FairSem{cap: n, avail: n}
+}
+
+// Cap returns the total number of permits.
+func (s *FairSem) Cap() int { return s.cap }
+
+// Available returns the number of free permits (0 whenever waiters are
+// queued: a release with a non-empty queue hands the permit over directly).
+func (s *FairSem) Available() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.avail
+}
+
+// QueueLen returns the number of currently queued acquirers (canceled
+// entries awaiting collection excluded).
+func (s *FairSem) QueueLen() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := 0
+	for w := s.head; w != nil; w = w.next {
+		if !w.canceled {
+			n++
+		}
+	}
+	return n
+}
+
+// Waited returns the total number of Acquire calls that found no free
+// permit and had to queue — the admission-pressure counter surfaced as
+// PoolStats.Waited.
+func (s *FairSem) Waited() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.waited
+}
+
+// TryAcquire takes a permit without blocking and reports whether it got
+// one. It never barges: with waiters queued it fails even if a permit is
+// momentarily free.
+func (s *FairSem) TryAcquire() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.head == nil && s.avail > 0 {
+		s.avail--
+		return true
+	}
+	return false
+}
+
+// Acquire takes a permit, blocking in FIFO order behind earlier acquirers,
+// until granted or ctx is done. A nil ctx never cancels. On cancellation it
+// returns ctx.Err() and the caller holds nothing; a permit granted
+// concurrently with the cancellation is passed on to the next waiter.
+func (s *FairSem) Acquire(ctx context.Context) error {
+	s.mu.Lock()
+	if s.head == nil && s.avail > 0 {
+		s.avail--
+		s.mu.Unlock()
+		return nil
+	}
+	w := s.enqueue()
+	s.waited++
+	s.mu.Unlock()
+
+	var done <-chan struct{}
+	if ctx != nil {
+		done = ctx.Done()
+	}
+	select {
+	case <-w.ready:
+		s.mu.Lock()
+		s.recycle(w)
+		s.mu.Unlock()
+		return nil
+	case <-done:
+		s.mu.Lock()
+		if w.granted {
+			// The grant raced with the cancellation: the permit is ours, so
+			// drain the signal (buffered, sent under mu — never blocks) and
+			// hand the permit straight to the next waiter in line.
+			<-w.ready
+			s.releaseLocked()
+			s.recycle(w)
+		} else {
+			// Lazy removal: the entry stays queued, marked, and is skipped
+			// and collected by the release that reaches it — its turn passes
+			// to its successor rather than being lost.
+			w.canceled = true
+		}
+		s.mu.Unlock()
+		return ctx.Err()
+	}
+}
+
+// Release returns a permit, granting it to the longest-waiting live
+// acquirer if any, else back to the free pool.
+func (s *FairSem) Release() {
+	s.mu.Lock()
+	s.releaseLocked()
+	s.mu.Unlock()
+}
+
+func (s *FairSem) releaseLocked() {
+	for {
+		w := s.pop()
+		if w == nil {
+			if s.avail == s.cap {
+				panic("par: FairSem Release without a matching Acquire")
+			}
+			s.avail++
+			return
+		}
+		if w.canceled {
+			s.recycle(w)
+			continue
+		}
+		w.granted = true
+		w.ready <- struct{}{}
+		return
+	}
+}
+
+// enqueue appends a waiter record (recycled when possible) to the queue.
+// Caller holds s.mu.
+func (s *FairSem) enqueue() *semWaiter {
+	w := s.free
+	if w == nil {
+		w = &semWaiter{ready: make(chan struct{}, 1)}
+	} else {
+		s.free = w.next
+		w.next = nil
+	}
+	if s.tail == nil {
+		s.head = w
+	} else {
+		s.tail.next = w
+	}
+	s.tail = w
+	return w
+}
+
+// pop removes and returns the queue head, or nil. Caller holds s.mu.
+func (s *FairSem) pop() *semWaiter {
+	w := s.head
+	if w == nil {
+		return nil
+	}
+	s.head = w.next
+	if s.head == nil {
+		s.tail = nil
+	}
+	w.next = nil
+	return w
+}
+
+// recycle resets a dequeued waiter record onto the free list. Its channel is
+// empty by construction: a granted signal is always drained by the acquirer
+// (normal receive or cancel-race drain) before recycling, and canceled
+// entries are never signaled. Caller holds s.mu.
+func (s *FairSem) recycle(w *semWaiter) {
+	w.granted = false
+	w.canceled = false
+	w.next = s.free
+	s.free = w
+}

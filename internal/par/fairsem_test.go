@@ -1,0 +1,210 @@
+package par
+
+import (
+	"context"
+	"sync"
+	"testing"
+	"time"
+)
+
+// waitQueueLen spins until the semaphore has n live queued waiters.
+func waitQueueLen(t *testing.T, s *FairSem, n int) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for s.QueueLen() != n {
+		if time.Now().After(deadline) {
+			t.Fatalf("queue length never reached %d (at %d)", n, s.QueueLen())
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+// TestFairSemFIFOOrder pins the fairness guarantee: waiters enqueued one at
+// a time are granted in exactly that order.
+func TestFairSemFIFOOrder(t *testing.T) {
+	s := NewFairSem(1)
+	if err := s.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 8
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Acquire(context.Background()); err != nil {
+				t.Error(err)
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Release()
+		}(i)
+		// Serialize admission so arrival order is deterministic.
+		waitQueueLen(t, s, i+1)
+	}
+	s.Release()
+	wg.Wait()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("grant order %v, want strictly FIFO", order)
+		}
+	}
+	if s.Available() != 1 {
+		t.Fatalf("leaked permits: available=%d, want 1", s.Available())
+	}
+	if s.Waited() != waiters {
+		t.Fatalf("Waited=%d, want %d", s.Waited(), waiters)
+	}
+}
+
+// TestFairSemCancelPassesTurn cancels a waiter in the middle of the queue:
+// the others complete in order and the canceled waiter's turn passes on
+// without losing a permit.
+func TestFairSemCancelPassesTurn(t *testing.T) {
+	s := NewFairSem(1)
+	if err := s.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 5
+	const victim = 2
+	ctxs := make([]context.Context, waiters)
+	cancels := make([]context.CancelFunc, waiters)
+	errs := make([]error, waiters)
+	var mu sync.Mutex
+	var order []int
+	var wg sync.WaitGroup
+	for i := 0; i < waiters; i++ {
+		ctxs[i], cancels[i] = context.WithCancel(context.Background())
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			if err := s.Acquire(ctxs[i]); err != nil {
+				errs[i] = err
+				return
+			}
+			mu.Lock()
+			order = append(order, i)
+			mu.Unlock()
+			s.Release()
+		}(i)
+		waitQueueLen(t, s, i+1)
+	}
+	cancels[victim]()
+	waitQueueLen(t, s, waiters-1)
+	s.Release()
+	wg.Wait()
+	for _, c := range cancels {
+		c()
+	}
+	if errs[victim] != context.Canceled {
+		t.Fatalf("victim error = %v, want context.Canceled", errs[victim])
+	}
+	want := []int{0, 1, 3, 4}
+	if len(order) != len(want) {
+		t.Fatalf("grant order %v, want %v", order, want)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("grant order %v, want %v", order, want)
+		}
+	}
+	if s.Available() != 1 {
+		t.Fatalf("leaked permits: available=%d, want 1", s.Available())
+	}
+}
+
+// TestFairSemGrantCancelRace hammers the race between Release granting a
+// permit and the waiter canceling: the permit must never be lost.
+func TestFairSemGrantCancelRace(t *testing.T) {
+	s := NewFairSem(1)
+	for round := 0; round < 300; round++ {
+		if err := s.Acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		done := make(chan error, 1)
+		go func() {
+			err := s.Acquire(ctx)
+			if err == nil {
+				s.Release()
+			}
+			done <- err
+		}()
+		waitQueueLen(t, s, 1)
+		go cancel()
+		s.Release()
+		<-done
+		cancel()
+		// Whatever the race outcome, exactly one permit must remain.
+		if err := s.Acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	}
+	if s.Available() != 1 {
+		t.Fatalf("leaked permits after races: available=%d, want 1", s.Available())
+	}
+}
+
+// TestFairSemTryAcquireNoBarging pins that TryAcquire cannot jump a queue.
+func TestFairSemTryAcquireNoBarging(t *testing.T) {
+	s := NewFairSem(2)
+	if !s.TryAcquire() || !s.TryAcquire() {
+		t.Fatal("TryAcquire failed with free permits")
+	}
+	if s.TryAcquire() {
+		t.Fatal("TryAcquire succeeded with no permits")
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := s.Acquire(context.Background()); err != nil {
+			t.Error(err)
+		}
+	}()
+	waitQueueLen(t, s, 1)
+	s.Release() // goes to the queued waiter...
+	<-done
+	if !s.TryAcquire() {
+		// ...and the second release frees a permit for TryAcquire again.
+		s.Release()
+		if !s.TryAcquire() {
+			t.Fatal("TryAcquire failed after queue drained")
+		}
+	}
+}
+
+// TestFairSemWarmCycleZeroAllocs pins that a steady acquire/release cycle —
+// including queued acquisitions, whose waiter records are free-listed —
+// allocates nothing once warm.
+func TestFairSemWarmCycleZeroAllocs(t *testing.T) {
+	s := NewFairSem(1)
+	// Warm the free list with one queued cycle.
+	if err := s.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	released := make(chan struct{})
+	go func() {
+		waitQueueLen(t, s, 1)
+		s.Release()
+		close(released)
+	}()
+	if err := s.Acquire(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	<-released
+	s.Release()
+	allocs := testing.AllocsPerRun(100, func() {
+		if err := s.Acquire(nil); err != nil {
+			t.Fatal(err)
+		}
+		s.Release()
+	})
+	if allocs != 0 {
+		t.Errorf("uncontended warm Acquire/Release allocates %v times, want 0", allocs)
+	}
+}

@@ -5,8 +5,10 @@ import (
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 
 	"grappolo/internal/core"
+	"grappolo/internal/par"
 )
 
 // Pool serves concurrent Detect calls from a bounded set of reusable
@@ -14,8 +16,13 @@ import (
 // engine per in-flight request, engines recycled back to back so warm
 // steady-state requests perform zero scratch allocations, and at most Size
 // engines (and Size concurrent detections) ever exist. Additional callers
-// block until an engine frees up, keeping memory and CPU bounded under
+// queue until an engine frees up, keeping memory and CPU bounded under
 // bursts.
+//
+// Admission is FIFO-fair: engine permits are granted in strict arrival
+// order (no barging), so under overload no request starves behind
+// later-arriving traffic, and a request canceled while queued passes its
+// turn to the next in line without losing a permit.
 //
 // Engines are handed out by size class: a request is served by the idle
 // engine with the smallest high-water vertex count that already fits the
@@ -25,13 +32,39 @@ import (
 // one-shot detection with the same configuration regardless of which engine
 // serves the call or in what order requests land.
 //
-// A Pool is safe for concurrent use by multiple goroutines.
+// A Pool is safe for concurrent use by multiple goroutines. Requests that
+// are duplicates of each other still run once per request; to coalesce
+// concurrent detections on the SAME graph into one engine run, put a
+// Batcher in front of the pool.
 type Pool struct {
 	opts core.Options
-	sem  chan struct{} // one permit per engine; cap(sem) == Size()
+	sem  *par.FairSem // one permit per engine; Cap() == Size()
+
+	led      atomic.Int64 // engine runs started
+	canceled atomic.Int64 // requests that returned ctx.Err()
 
 	mu   sync.Mutex
 	idle []*pooledEngine
+}
+
+// PoolStats are cumulative serving counters, readable at any time from any
+// goroutine. Pool.Stats fills the admission-side counters; Batcher.Stats
+// additionally fills Batched (a Pool on its own never coalesces).
+type PoolStats struct {
+	// Led counts engine runs started on behalf of requests. Through a
+	// Batcher this is the number of batch leaders — the acceptance metric
+	// for coalescing (N duplicate requests, 1 run).
+	Led int64
+	// Batched counts requests served by joining an in-flight identical
+	// run instead of starting their own (always 0 for a bare Pool).
+	Batched int64
+	// Waited counts requests that found no free engine and had to queue —
+	// the overload-pressure signal.
+	Waited int64
+	// Canceled counts requests that returned early with their context's
+	// error, whether canceled while queued, while following a batch, or
+	// mid-run.
+	Canceled int64
 }
 
 // pooledEngine pairs an engine with the largest graph shape it has served,
@@ -55,17 +88,27 @@ func NewPool(size int, opts ...Option) (*Pool, error) {
 	}
 	return &Pool{
 		opts: o,
-		sem:  make(chan struct{}, size),
+		sem:  par.NewFairSem(size),
 		idle: make([]*pooledEngine, 0, size),
 	}, nil
 }
 
 // Size returns the maximum number of engines (and concurrent detections).
-func (p *Pool) Size() int { return cap(p.sem) }
+func (p *Pool) Size() int { return p.sem.Cap() }
 
-// Detect acquires an engine (blocking until one is available or ctx is
-// done), runs detection on g, and returns a fresh Result independent of the
-// pool. See Detector.Detect for the cancellation contract.
+// Stats returns a snapshot of the pool's cumulative serving counters.
+func (p *Pool) Stats() PoolStats {
+	return PoolStats{
+		Led:      p.led.Load(),
+		Waited:   p.sem.Waited(),
+		Canceled: p.canceled.Load(),
+	}
+}
+
+// Detect acquires an engine (queuing FIFO behind earlier arrivals until one
+// is available or ctx is done), runs detection on g, and returns a fresh
+// Result independent of the pool. See Detector.Detect for the cancellation
+// contract.
 func (p *Pool) Detect(ctx context.Context, g *Graph) (*Result, error) {
 	return p.DetectInto(ctx, g, nil)
 }
@@ -78,10 +121,9 @@ func (p *Pool) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, 
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	select {
-	case p.sem <- struct{}{}:
-	case <-ctx.Done():
-		return nil, ctx.Err()
+	if err := p.sem.Acquire(ctx); err != nil {
+		p.canceled.Add(1)
+		return nil, err
 	}
 	pe := p.take(g.N())
 	// Deferred release: a panicking run (engine bug surfaced to a server
@@ -91,14 +133,18 @@ func (p *Pool) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, 
 	// visible in the idle list with a stale size class.
 	defer func() {
 		p.put(pe)
-		<-p.sem
+		p.sem.Release()
 	}()
+	p.led.Add(1)
 	res, err := pe.eng.RunIntoCtx(ctx, g, res)
 	// Only a completed run has demonstrably grown the engine's scratch to
 	// this shape; a canceled run may have bailed before touching it, and
 	// counting it would misclassify a cold engine as the warmest fit.
 	if n := g.N(); err == nil && n > pe.maxN {
 		pe.maxN = n
+	}
+	if err != nil {
+		p.canceled.Add(1)
 	}
 	return res, err
 }

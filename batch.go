@@ -8,6 +8,7 @@ import (
 	"weak"
 
 	"grappolo/internal/core"
+	"grappolo/internal/faults"
 	"grappolo/internal/graph"
 )
 
@@ -72,8 +73,10 @@ type fpCacheEntry struct {
 
 // errDetectPanicked is fanned out to followers when a batch's engine run
 // panics; the panic itself propagates through the leader, preserving the
-// unbatched contract for the call that actually drove the engine.
-var errDetectPanicked = errors.New("grappolo: batched detection panicked")
+// unbatched contract for the call that actually drove the engine. It
+// matches ErrEngineFault (via EngineFaultError.Is), so followers and the
+// Guard classify a leader's engine fault uniformly.
+var errDetectPanicked error = &EngineFaultError{Panic: "batched engine run panicked in its leader"}
 
 // batch is one in-flight coalesced run. Its mutex guards the follower list
 // and lifecycle flags; the Batcher mutex guards only the inflight table and
@@ -147,6 +150,9 @@ func (b *Batcher) Detect(ctx context.Context, g *Graph) (*Result, error) {
 // (nil, ctx.Err()) and res's contents are undefined, but its storage may be
 // passed to a later call — the same contract as Pool.DetectInto.
 func (b *Batcher) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -232,6 +238,7 @@ func (b *Batcher) lead(ctx context.Context, g *Graph, ba *batch, res *Result) (*
 			b.seal(ba, errDetectPanicked)
 		}
 	}()
+	faults.Maybe(faults.BatchLead)
 	runRes, runErr := b.pool.DetectInto(ctx, g, ba.shared)
 	completed = true
 	if runErr == nil {

@@ -12,11 +12,15 @@
 //	grappolo -file g.txt -out membership.txt
 //	grappolo -input rgg -serve -clients 16  # serving-shell demo (Pool)
 //	grappolo -input rgg -serve -batch       # …with request coalescing
+//	grappolo -input rgg -serve -batch -maxqueue 8 -deadline 2s -degrade 4
+//	                                        # …guarded: shedding, deadline
+//	                                        #   budget, degraded fast profile
 package main
 
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -62,6 +66,9 @@ func run(args []string) error {
 		batch     = fs.Bool("batch", false, "with -serve: put a coalescing Batcher in front of the Pool (duplicate requests share one engine run)")
 		clients   = fs.Int("clients", 8, "with -serve: concurrent requester goroutines")
 		requests  = fs.Int("requests", 64, "with -serve: total requests across all clients")
+		maxqueue  = fs.Int("maxqueue", -1, "with -serve: guard the stack, shedding requests that would queue deeper than this (-1 = unbounded)")
+		deadline  = fs.Duration("deadline", 0, "with -serve: guard the stack with this default per-request detection deadline (0 = none)")
+		degrade   = fs.Int("degrade", 0, "with -serve: guard the stack, serving requests queued at this depth or beyond with the degraded fast profile (0 = off)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,11 +81,18 @@ func run(args []string) error {
 	if *stats {
 		fmt.Println(grappolo.ComputeGraphStats(g))
 	}
+	if *deadline < 0 || *degrade < 0 || *maxqueue < -1 {
+		return fmt.Errorf("invalid guard flag (-maxqueue >= -1, -deadline >= 0, -degrade >= 0)")
+	}
 	if *serve {
-		return serveDemo(g, *workers, *batch, *clients, *requests, *quiet)
+		return serveDemo(g, *workers, *batch, *clients, *requests, *quiet,
+			*maxqueue, *deadline, *degrade)
 	}
 	if *batch {
 		return fmt.Errorf("-batch requires -serve")
+	}
+	if *maxqueue >= 0 || *deadline > 0 || *degrade > 0 {
+		return fmt.Errorf("-maxqueue, -deadline and -degrade require -serve")
 	}
 
 	var membership []int32
@@ -214,8 +228,13 @@ func run(args []string) error {
 // serveDemo exercises the serving shell the way a clustering service would:
 // a fixed client fleet hammers the same resident graph — the duplicate-load
 // shape request batching exists for — and the counters show the coalescing
-// win (requests answered vs engine runs actually performed).
-func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int, quiet bool) error {
+// win (requests answered vs engine runs actually performed). Any of the
+// guard flags (-maxqueue, -deadline, -degrade) wraps the stack in a Guard:
+// shed requests (ErrOverloaded) then count as back-pressure, not failures,
+// and requests admitted under queue pressure may be answered by the
+// degraded fast profile (marked in the stats line).
+func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int, quiet bool,
+	maxqueue int, deadline time.Duration, degrade int) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-serve needs positive -clients and -requests")
 	}
@@ -224,10 +243,37 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 		return err
 	}
 	detect := pool.DetectInto
+	mode := "pool"
+	var backend grappolo.Detecter = pool
 	var batcher *grappolo.Batcher
 	if batch {
 		batcher = grappolo.NewBatcher(pool)
+		backend = batcher
 		detect = batcher.DetectInto
+		mode = "pool+batcher"
+	}
+	var guard *grappolo.Guard
+	if maxqueue >= 0 || deadline > 0 || degrade > 0 {
+		var gopts []grappolo.GuardOption
+		if maxqueue >= 0 {
+			gopts = append(gopts, grappolo.MaxQueueDepth(maxqueue))
+		}
+		if deadline > 0 {
+			gopts = append(gopts, grappolo.DetectDeadline(deadline))
+		}
+		if degrade > 0 {
+			gopts = append(gopts, grappolo.DegradeAtDepth(degrade))
+		}
+		if batcher != nil {
+			// Admit more requests than engines so duplicates can coalesce
+			// as followers (which consume no engine permit).
+			gopts = append(gopts, grappolo.MaxInFlight(4*pool.Size()))
+		}
+		if guard, err = grappolo.NewGuard(backend, gopts...); err != nil {
+			return err
+		}
+		detect = guard.DetectInto
+		mode += "+guard"
 	}
 	ctx := context.Background()
 	var wg sync.WaitGroup
@@ -248,7 +294,14 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 			var res *grappolo.Result
 			var err error
 			for r := 0; r < n; r++ {
-				if res, err = detect(ctx, g, res); err != nil {
+				res, err = detect(ctx, g, res)
+				if errors.Is(err, grappolo.ErrOverloaded) {
+					// Back-pressure working as configured, not a failure;
+					// GuardStats.Shed counts these.
+					res = nil
+					continue
+				}
+				if err != nil {
 					failures.Add(1)
 					firstErr.CompareAndSwap(nil, err)
 					return
@@ -261,11 +314,14 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 	if failures.Load() > 0 {
 		return fmt.Errorf("%d requests failed (first: %v)", failures.Load(), firstErr.Load())
 	}
-	mode := "pool"
 	st := pool.Stats()
 	if batcher != nil {
-		mode = "pool+batcher"
 		st = batcher.Stats()
+	}
+	var gst grappolo.GuardStats
+	if guard != nil {
+		gst = guard.Stats()
+		st = gst.PoolStats
 	}
 	fmt.Printf("serve (%s): %d requests, %d clients, %d engines: %s (%.1f req/s)\n",
 		mode, requests, clients, pool.Size(),
@@ -273,6 +329,10 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 	if !quiet {
 		fmt.Printf("  engine runs=%d coalesced=%d queued=%d canceled=%d\n",
 			st.Led, st.Batched, st.Waited, st.Canceled)
+		if guard != nil {
+			fmt.Printf("  guard: shed=%d degraded=%d recovered=%d\n",
+				gst.Shed, gst.Degraded, gst.Recovered)
+		}
 	}
 	return nil
 }

@@ -179,3 +179,34 @@ func TestRunBatchRequiresServe(t *testing.T) {
 		t.Fatal("-batch without -serve must be rejected")
 	}
 }
+
+func TestRunServeModeGuarded(t *testing.T) {
+	path := writeTempGraph(t)
+	if err := run([]string{"-file", path, "-serve", "-batch",
+		"-maxqueue", "8", "-deadline", "30s", "-degrade", "4",
+		"-clients", "4", "-requests", "16", "-workers", "1"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunGuardFlagsRequireServe(t *testing.T) {
+	path := writeTempGraph(t)
+	for _, args := range [][]string{
+		{"-file", path, "-maxqueue", "4"},
+		{"-file", path, "-deadline", "1s"},
+		{"-file", path, "-degrade", "2"},
+	} {
+		if err := run(args); err == nil {
+			t.Fatalf("%v without -serve must be rejected", args[2])
+		}
+	}
+}
+
+func TestRunServeModeGuardInvalid(t *testing.T) {
+	path := writeTempGraph(t)
+	// -degrade 0 is "off", but the depth bound still validates: a request
+	// path exists only through NewGuard, whose errors must surface.
+	if err := run([]string{"-file", path, "-serve", "-deadline", "-1s"}); err == nil {
+		t.Fatal("negative -deadline must be rejected")
+	}
+}

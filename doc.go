@@ -84,6 +84,68 @@
 // follower (pinned by TestBatcherWarmZeroAllocs; BenchmarkBatcherDetect
 // measures batched vs unbatched duplicate load).
 //
+// # Serving robustly: deadlines, shedding, degraded mode
+//
+// A Pool (or Batcher) bounds concurrency but not queueing: under sustained
+// overload its FIFO admission queue grows without limit, every request
+// eventually runs at full quality, and an engine-run panic unwinds into
+// whichever caller's goroutine drove the engine. Guard is the resilience
+// tier that turns the stack into something a production service can sit
+// behind:
+//
+//	gd, err := grappolo.NewGuard(bat,
+//		grappolo.MaxQueueDepth(32),               // shed past this backlog
+//		grappolo.MaxQueueWait(50*time.Millisecond), // shed slow-queue waiters
+//		grappolo.DetectDeadline(2*time.Second),   // default per-request budget
+//		grappolo.DegradeAtDepth(8),               // fast profile under pressure
+//	)
+//	...
+//	res, err := gd.Detect(ctx, g)
+//	switch {
+//	case errors.Is(err, grappolo.ErrOverloaded): // shed: retry later / 503
+//	case errors.Is(err, grappolo.ErrEngineFault): // engine panic, recovered
+//	case err != nil:                             // ctx error as usual
+//	default:
+//		_ = res.Degraded // true iff served by the degraded profile
+//	}
+//
+// Bounded admission: a request that would queue deeper than MaxQueueDepth,
+// or that has queued longer than MaxQueueWait, fails fast with an error
+// matching ErrOverloaded — typed back-pressure the caller can convert to a
+// retry-later response. The bound is enforced atomically at the admission
+// queue, admitted requests keep their FIFO order, and a caller's own
+// context failing while queued is reported as that context's error, never
+// disguised as overload. Requests with no deadline of their own receive
+// DetectDeadline as a default budget (a caller-supplied deadline is always
+// respected as-is), enforced by the engine's chunk-granular cooperative
+// cancellation.
+//
+// Graceful degradation: past DegradeAtDepth queued waiters, requests are
+// served by a SECOND size-classed engine set running a cheaper
+// pre-validated profile — by default the paper's own quality/speed knobs
+// tightened to at most 2 phases, 8 iterations per phase, and coarser gain
+// thresholds (5e-2 colored, 1e-3 final); DegradeProfile overrides that.
+// Degraded results are real clusterings of the full graph, bit-identical
+// to a one-shot detection under the degraded profile, and marked with
+// Result.Degraded so callers can label cached entries. When the queue
+// drains, full-quality serving resumes by itself. Degradation is decided
+// at admission time from queue depth, so a burst degrades only the
+// requests that actually queued behind it.
+//
+// Fault isolation: an engine run that panics is quarantined twice over —
+// the Pool discards the panicked engine instead of recycling it
+// (PoolStats.Faulted counts these; the freed slot lazily builds a fresh
+// engine) and releases its permit, a Batcher seals the batch so followers
+// get an error matching ErrEngineFault instead of waiting forever, and the
+// Guard converts the propagating panic into an *EngineFaultError carrying
+// the panic value. A nil graph is likewise refused up front with
+// ErrNilGraph by every serving layer. GuardStats extends PoolStats with
+// Shed, Degraded and Recovered counts; a warm, non-degraded Guard request
+// whose context already has a deadline allocates nothing (pinned by
+// TestGuardWarmZeroAllocs), and the whole stack is soaked under seeded
+// fault injection — panics, latency, forced cancellations — by the
+// faultinject-tagged chaos tests.
+//
 // Streaming workloads use NewStream, which maintains communities under
 // live edge insertions with batched incremental updates and pooled full
 // re-detections. Synthetic inputs reproducing the paper's 11-graph suite

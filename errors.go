@@ -1,0 +1,52 @@
+package grappolo
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrNilGraph is returned by every detection entry point (Detector, Pool,
+// Batcher, Guard) handed a nil *Graph. Validating at the boundary turns
+// what used to be a panic deep inside the engine into a typed, checkable
+// request error.
+var ErrNilGraph = errors.New("grappolo: nil graph")
+
+// ErrOverloaded is the load-shedding sentinel: a Guard returns an error
+// matching it (via errors.Is) when a request is refused instead of served —
+// either because the admission queue is at its configured depth bound, or
+// because the request waited in the queue longer than its configured
+// bound. Shed errors are produced FAST by design: the caller learns within
+// its queue-wait budget that it should retry later or fail over, rather
+// than piling onto the admission queue.
+var ErrOverloaded = errors.New("grappolo: overloaded")
+
+// ErrEngineFault is the panic-quarantine sentinel: errors.Is reports it
+// for any error produced by recovering an engine-run panic at a serving
+// boundary — the Guard's recovery of a request that panicked, and the
+// error a Batcher fans out to followers whose leader's run panicked. The
+// faulted engine itself is quarantined by the Pool (never returned to the
+// idle list); the serving stack stays usable.
+var ErrEngineFault = errors.New("grappolo: engine fault")
+
+// EngineFaultError carries the recovered panic value of a faulted engine
+// run. It matches ErrEngineFault under errors.Is.
+type EngineFaultError struct {
+	// Panic is the value the engine run panicked with.
+	Panic any
+}
+
+// Error describes the fault.
+func (e *EngineFaultError) Error() string {
+	return fmt.Sprintf("grappolo: engine fault: recovered panic: %v", e.Panic)
+}
+
+// Is matches the ErrEngineFault sentinel.
+func (e *EngineFaultError) Is(target error) bool { return target == ErrEngineFault }
+
+// overloadError is the concrete shed error: it matches ErrOverloaded and
+// names which admission bound was exceeded.
+type overloadError struct{ reason string }
+
+func (e *overloadError) Error() string { return "grappolo: overloaded: " + e.reason }
+
+func (e *overloadError) Is(target error) bool { return target == ErrOverloaded }

@@ -27,3 +27,23 @@ func (p *Pool) AvailablePermits() int { return p.sem.Available() }
 // a shared run, which happens later — tests choreographing a pile-up need
 // the attach-time signal).
 func (b *Batcher) JoinedFollowers() int64 { return b.joins.Load() }
+
+// IdleEngines returns the number of engines currently parked in the idle
+// list — the quarantine tests' proof that a panicked engine was dropped
+// (its slot stays empty until a later request lazily re-creates one).
+func (p *Pool) IdleEngines() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.idle)
+}
+
+// HoldAdmission parks one of the Guard's admission slots (queuing FIFO
+// like a request would), so tests can pile requests up at known queue
+// depths. Pair with ReleaseAdmission.
+func (gd *Guard) HoldAdmission(ctx context.Context) error { return gd.admit.Acquire(ctx) }
+
+// ReleaseAdmission returns a slot taken by HoldAdmission.
+func (gd *Guard) ReleaseAdmission() { gd.admit.Release() }
+
+// AdmissionSlots returns the Guard's concurrent-admission capacity.
+func (gd *Guard) AdmissionSlots() int { return gd.admit.Cap() }

@@ -1,0 +1,427 @@
+package grappolo
+
+import (
+	"context"
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"grappolo/internal/core"
+	"grappolo/internal/par"
+)
+
+// Detecter is the serving interface every detection layer implements —
+// Detector, Pool, Batcher and Guard — so the layers compose freely and a
+// caller can hold whichever tier of the stack it was handed.
+type Detecter interface {
+	// Detect runs detection on g and returns a fresh Result.
+	Detect(ctx context.Context, g *Graph) (*Result, error)
+	// DetectInto is Detect recycling a caller-provided Result; a nil res
+	// allocates a fresh one.
+	DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, error)
+}
+
+// Guard wraps a Pool or Batcher with production overload semantics — the
+// resilience tier of the serving stack (Detector → Pool → Batcher →
+// Guard). Four behaviors, each off until configured:
+//
+//   - Bounded admission (MaxQueueDepth, MaxQueueWait): a request that
+//     would queue behind more than the configured depth, or that has
+//     already queued longer than the configured wait, is SHED with an
+//     error matching ErrOverloaded — fast, typed back-pressure instead of
+//     an unbounded pile-up on the pool's admission queue. Admission is
+//     still FIFO-fair: shedding never reorders the requests it admits.
+//
+//   - Deadline budgets (DetectDeadline): a request whose context carries
+//     no deadline gets the configured default, enforced through the
+//     engine's chunk-granular cooperative cancellation; a caller-supplied
+//     deadline is always respected as-is.
+//
+//   - Graceful degradation (DegradeAtDepth, DegradeProfile): once queue
+//     pressure reaches the configured depth, requests are served by a
+//     SECOND size-classed engine set running a cheaper pre-validated
+//     profile (tighter thresholds, fewer phases/iterations — the paper's
+//     own quality/speed knobs), and the Result is marked Degraded. Under a
+//     burst the queue drains at the fast profile's pace instead of
+//     collapsing; when pressure subsides, full-quality serving resumes by
+//     itself.
+//
+//   - Panic quarantine: a request whose engine run panics returns an
+//     *EngineFaultError (matching ErrEngineFault) instead of unwinding the
+//     caller; the pool independently quarantines the faulted engine
+//     (PoolStats.Faulted), so one poisoned request can neither crash the
+//     server nor corrupt a recycled engine.
+//
+// A Guard owns its backend's admission: route ALL traffic for the wrapped
+// Pool/Batcher through the Guard, or the queue-state signals (shedding and
+// degradation thresholds) will under-count. A Guard is safe for concurrent
+// use by multiple goroutines.
+type Guard struct {
+	primary  Detecter
+	degraded Detecter // non-nil iff degradation is configured
+	pool     *Pool    // the backend's underlying pool (capacity, options)
+	admit    *par.FairSem
+
+	maxQueue  int           // >= 0 bounds the admission queue; -1 unbounded
+	maxWait   time.Duration // > 0 bounds time spent queued
+	deadline  time.Duration // > 0 default detection deadline
+	degradeAt int           // > 0: queue depth at which requests degrade
+
+	// Preallocated shed errors: shedding is the hot path of an overloaded
+	// server, and it should not allocate its way deeper into the overload.
+	errDepth error
+	errWait  error
+
+	shed      atomic.Int64
+	degradedN atomic.Int64
+	recovered atomic.Int64
+}
+
+// GuardStats extends the backend's PoolStats with the Guard's own
+// counters. The embedded PoolStats aggregates the primary AND the
+// degraded engine sets (Led counts engine runs wherever they ran).
+type GuardStats struct {
+	PoolStats
+	// Shed counts requests refused with ErrOverloaded (depth or wait).
+	Shed int64
+	// Degraded counts requests served by the degraded fast profile.
+	Degraded int64
+	// Recovered counts engine-run panics recovered at the Guard boundary
+	// into ErrEngineFault (the pool-side PoolStats.Faulted counts the
+	// engines quarantined by those same events).
+	Recovered int64
+}
+
+// guardConfig accumulates GuardOption applications.
+type guardConfig struct {
+	maxInFlight    int
+	maxQueue       int
+	maxWait        time.Duration
+	deadline       time.Duration
+	degradeAt      int
+	degradeProfile []Option
+}
+
+// GuardOption configures a Guard.
+type GuardOption func(*guardConfig) error
+
+// MaxQueueDepth bounds the Guard's admission queue: a request that would
+// become the (n+1)-th queued waiter is shed immediately with
+// ErrOverloaded. n == 0 admits only requests that can start without
+// queueing at all. Negative n is an error; the default is unbounded.
+func MaxQueueDepth(n int) GuardOption {
+	return func(c *guardConfig) error {
+		if n < 0 {
+			return fmt.Errorf("grappolo: negative MaxQueueDepth %d", n)
+		}
+		c.maxQueue = n
+		return nil
+	}
+}
+
+// MaxQueueWait bounds the time a request may spend queued for admission:
+// past d it is shed with ErrOverloaded (unless its own context fails
+// first, which wins). d must be positive.
+func MaxQueueWait(d time.Duration) GuardOption {
+	return func(c *guardConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("grappolo: MaxQueueWait must be positive, got %v", d)
+		}
+		c.maxWait = d
+		return nil
+	}
+}
+
+// DetectDeadline sets the default per-request detection deadline applied
+// when the caller's context has none. It covers the engine run, not the
+// queue wait (MaxQueueWait bounds that); enforcement is the engine's
+// chunk-granular cooperative cancellation, so overruns surface as
+// context.DeadlineExceeded within one chunk of sweep work. d must be
+// positive. Note the Guard must derive a timer context for requests that
+// arrive without a deadline — callers that pre-set their own deadline keep
+// the warm request path allocation-free.
+func DetectDeadline(d time.Duration) GuardOption {
+	return func(c *guardConfig) error {
+		if d <= 0 {
+			return fmt.Errorf("grappolo: DetectDeadline must be positive, got %v", d)
+		}
+		c.deadline = d
+		return nil
+	}
+}
+
+// DegradeAtDepth enables graceful degradation: a request that joins the
+// admission queue at depth n or beyond is served by the degraded engine
+// set (see DegradeProfile) and its Result is marked Degraded. n must be at
+// least 1 — depth 0 would degrade unqueued requests, which is just a
+// cheaper configuration, not degradation.
+func DegradeAtDepth(n int) GuardOption {
+	return func(c *guardConfig) error {
+		if n < 1 {
+			return fmt.Errorf("grappolo: DegradeAtDepth must be at least 1, got %d", n)
+		}
+		c.degradeAt = n
+		return nil
+	}
+}
+
+// DegradeProfile sets the option overrides layered onto the backend
+// pool's configuration for the degraded engine set (requires
+// DegradeAtDepth). The combined profile is validated by NewGuard exactly
+// like a primary configuration. Without this option, degradation tightens
+// the paper's quality/speed knobs to a fast default: at most 2 phases, at
+// most 8 iterations per phase, and coarser gain thresholds.
+func DegradeProfile(opts ...Option) GuardOption {
+	return func(c *guardConfig) error {
+		if len(opts) == 0 {
+			return fmt.Errorf("grappolo: DegradeProfile needs at least one Option")
+		}
+		c.degradeProfile = opts
+		return nil
+	}
+}
+
+// MaxInFlight overrides the Guard's concurrent-admission bound (default:
+// the backend pool's Size). For a plain Pool backend the default is right —
+// one admission per engine. For a BATCHER backend a larger bound (a few
+// multiples of the pool size) lets duplicate requests pass through the
+// Guard and coalesce as followers, which consume no engine; the pool's own
+// FIFO admission still bounds actual engine concurrency. n must be
+// positive.
+func MaxInFlight(n int) GuardOption {
+	return func(c *guardConfig) error {
+		if n < 1 {
+			return fmt.Errorf("grappolo: MaxInFlight must be positive, got %d", n)
+		}
+		c.maxInFlight = n
+		return nil
+	}
+}
+
+// NewGuard wraps backend — a *Pool or a *Batcher — in a Guard. With no
+// options the Guard only adds panic quarantine; shedding, deadlines and
+// degradation are enabled by their respective options. Configuration
+// errors (negative bounds, a degrade profile without DegradeAtDepth, an
+// invalid degraded option combination) are returned, never coerced.
+func NewGuard(backend Detecter, gopts ...GuardOption) (*Guard, error) {
+	var pool *Pool
+	switch b := backend.(type) {
+	case *Pool:
+		pool = b
+	case *Batcher:
+		pool = b.Pool()
+	default:
+		return nil, fmt.Errorf("grappolo: NewGuard needs a *Pool or *Batcher backend, got %T", backend)
+	}
+	c := guardConfig{maxQueue: -1}
+	for _, o := range gopts {
+		if o == nil {
+			return nil, fmt.Errorf("grappolo: nil GuardOption")
+		}
+		if err := o(&c); err != nil {
+			return nil, err
+		}
+	}
+	if c.degradeProfile != nil && c.degradeAt == 0 {
+		return nil, fmt.Errorf("grappolo: DegradeProfile requires DegradeAtDepth")
+	}
+	inFlight := c.maxInFlight
+	if inFlight == 0 {
+		inFlight = pool.Size()
+	}
+	gd := &Guard{
+		primary:   backend,
+		pool:      pool,
+		admit:     par.NewFairSem(inFlight),
+		maxQueue:  c.maxQueue,
+		maxWait:   c.maxWait,
+		deadline:  c.deadline,
+		degradeAt: c.degradeAt,
+	}
+	if c.maxQueue >= 0 {
+		gd.errDepth = &overloadError{reason: fmt.Sprintf("admission queue at its depth bound (%d)", c.maxQueue)}
+	}
+	if c.maxWait > 0 {
+		gd.errWait = &overloadError{reason: fmt.Sprintf("request queued longer than %v", c.maxWait)}
+	}
+	if c.degradeAt > 0 {
+		opts, err := degradedOptions(pool.opts, c.degradeProfile)
+		if err != nil {
+			return nil, fmt.Errorf("grappolo: invalid degraded profile: %w", err)
+		}
+		dp := newPoolCore(pool.Size(), opts)
+		if _, isBatcher := backend.(*Batcher); isBatcher {
+			// A batcher backend coalesces duplicates; degraded duplicate
+			// bursts — the most duplicate-shaped traffic there is — should
+			// coalesce too.
+			gd.degraded = NewBatcher(dp)
+		} else {
+			gd.degraded = dp
+		}
+	}
+	return gd, nil
+}
+
+// degradedOptions derives the degraded engine configuration: the primary
+// pool's validated options with the profile overrides applied on top, the
+// whole combination re-validated. A nil profile applies the default
+// tightening of the paper's quality/speed knobs.
+func degradedOptions(base core.Options, profile []Option) (core.Options, error) {
+	if profile == nil {
+		profile = []Option{
+			MaxPhases(2),
+			MaxIterations(8),
+			Thresholds(5e-2, 1e-3),
+		}
+	}
+	c := config{opts: base}
+	if err := applyOptions(&c, profile); err != nil {
+		return core.Options{}, err
+	}
+	if err := validateConfig(&c); err != nil {
+		return core.Options{}, err
+	}
+	return c.opts, nil
+}
+
+// Detect runs detection on g through the Guard's admission, deadline and
+// degradation policy, returning a fresh Result independent of the serving
+// stack. Errors: ErrNilGraph, an ErrOverloaded match when shed, an
+// ErrEngineFault match when the run panicked, or the (possibly
+// Guard-imposed) context's error.
+func (gd *Guard) Detect(ctx context.Context, g *Graph) (*Result, error) {
+	return gd.DetectInto(ctx, g, nil)
+}
+
+// DetectInto is Detect recycling a caller-provided Result. A warm
+// non-degraded request whose context already carries a deadline performs
+// zero allocations end to end (admission fast path, engine checkout, run,
+// write-back); the Guard allocates only to shed, to derive a default
+// deadline, or on the degraded path.
+func (gd *Guard) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	degrade := false
+	if !gd.admit.TryAcquire() {
+		// No free slot: this request must queue — the pressure signals
+		// (shed bounds, degradation threshold) all read from here.
+		depth := gd.admit.QueueLen() + 1 // the depth this request would join at
+		if gd.maxQueue >= 0 && depth > gd.maxQueue {
+			gd.shed.Add(1)
+			return nil, gd.errDepth
+		}
+		degrade = gd.degradeAt > 0 && depth >= gd.degradeAt
+		waitCtx := ctx
+		var cancelWait context.CancelFunc
+		if gd.maxWait > 0 {
+			waitCtx, cancelWait = context.WithTimeout(ctx, gd.maxWait)
+		}
+		err := gd.admit.AcquireLimited(waitCtx, gd.maxQueue)
+		if cancelWait != nil {
+			cancelWait()
+		}
+		if err != nil {
+			switch {
+			case err == par.ErrQueueFull:
+				// Lost the depth race to concurrent arrivals — the bound
+				// is enforced atomically at the queue, the check above is
+				// only the fast path.
+				gd.shed.Add(1)
+				return nil, gd.errDepth
+			case ctx.Err() != nil:
+				// The caller's own context failed (cancellation or its own
+				// deadline) — that is not shedding, report it as-is.
+				return nil, ctx.Err()
+			default:
+				// Only the Guard-imposed queue-wait timer is left.
+				gd.shed.Add(1)
+				return nil, gd.errWait
+			}
+		}
+	}
+	defer gd.admit.Release()
+
+	runCtx := ctx
+	if gd.deadline > 0 {
+		if _, ok := ctx.Deadline(); !ok {
+			var cancel context.CancelFunc
+			runCtx, cancel = context.WithTimeout(ctx, gd.deadline)
+			defer cancel()
+		}
+	}
+	backend := gd.primary
+	if degrade {
+		backend = gd.degraded
+	}
+	out, err := gd.run(backend, runCtx, g, res)
+	if err != nil {
+		return nil, err
+	}
+	out.Degraded = degrade
+	if degrade {
+		gd.degradedN.Add(1)
+	}
+	return out, nil
+}
+
+// run drives one backend call under the panic-quarantine boundary: a
+// panicking engine run (or batch lead) is recovered into an
+// *EngineFaultError instead of unwinding the caller. The pool below has
+// already quarantined the engine and released its permit by the time the
+// panic reaches this frame, so recovery here leaks nothing.
+func (gd *Guard) run(backend Detecter, ctx context.Context, g *Graph, res *Result) (out *Result, err error) {
+	defer func() {
+		if v := recover(); v != nil {
+			gd.recovered.Add(1)
+			out = nil
+			err = &EngineFaultError{Panic: v}
+		}
+	}()
+	return backend.DetectInto(ctx, g, res)
+}
+
+// Stats returns the Guard's cumulative counters: the backend's serving
+// stats (primary and degraded engine sets summed) plus shed, degraded and
+// recovered counts.
+func (gd *Guard) Stats() GuardStats {
+	s := GuardStats{
+		Shed:      gd.shed.Load(),
+		Degraded:  gd.degradedN.Load(),
+		Recovered: gd.recovered.Load(),
+	}
+	s.PoolStats = backendStats(gd.primary)
+	if gd.degraded != nil {
+		d := backendStats(gd.degraded)
+		s.Led += d.Led
+		s.Batched += d.Batched
+		s.Waited += d.Waited
+		s.Canceled += d.Canceled
+		s.Faulted += d.Faulted
+	}
+	return s
+}
+
+// backendStats reads the PoolStats of either backend shape.
+func backendStats(b Detecter) PoolStats {
+	switch b := b.(type) {
+	case *Pool:
+		return b.Stats()
+	case *Batcher:
+		return b.Stats()
+	}
+	return PoolStats{}
+}
+
+// Queued returns the number of requests currently waiting for admission —
+// the live pressure signal the shed and degrade bounds act on.
+func (gd *Guard) Queued() int { return gd.admit.QueueLen() }
+
+// String describes the guard for logs.
+func (gd *Guard) String() string {
+	return fmt.Sprintf("grappolo.Guard(inflight=%d, queued=%d, maxqueue=%d, maxwait=%v, deadline=%v, degradeAt=%d)",
+		gd.admit.Cap(), gd.admit.QueueLen(), gd.maxQueue, gd.maxWait, gd.deadline, gd.degradeAt)
+}

@@ -5,6 +5,7 @@ import (
 	"time"
 
 	"grappolo/internal/coloring"
+	"grappolo/internal/faults"
 	"grappolo/internal/graph"
 	"grappolo/internal/par"
 )
@@ -142,6 +143,7 @@ func CopyResultInto(dst, src *Result) *Result {
 	dst.Modularity = src.Modularity
 	dst.TotalIterations = src.TotalIterations
 	dst.Timing = src.Timing
+	dst.Degraded = src.Degraded
 	// Per-phase traces recycle the previous copy's backing by index — the
 	// same convention runInto uses for RunInto results.
 	oldPhases := dst.Phases
@@ -171,8 +173,13 @@ func CopyResultInto(dst, src *Result) *Result {
 // stopRequested polls the run's cancellation source: once the context is
 // done the flag latches, so every later check — including the per-chunk
 // checks inside sweep bodies reading the same flag — is a single atomic
-// load.
+// load. Fault-injection builds may force a strike here (the
+// cancel-at-chunk-N fault): it latches the same flag a real cancellation
+// would, so the injected abort exercises exactly the production path.
 func stopRequested(ctx context.Context, c *par.Cancel) bool {
+	if faults.ShouldCancel(faults.EngineBarrier) {
+		c.Set()
+	}
 	if c.Canceled() {
 		return true
 	}
@@ -183,10 +190,14 @@ func stopRequested(ctx context.Context, c *par.Cancel) bool {
 	return false
 }
 
-// cancelErr returns the error a canceled run reports.
+// cancelErr returns the error a canceled run reports. The nil-ctx case is
+// reachable only under fault injection (a forced barrier strike during a
+// context-free Run); it reports plain context.Canceled.
 func cancelErr(ctx context.Context) error {
-	if err := ctx.Err(); err != nil {
-		return err
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
 	}
 	return context.Canceled
 }
@@ -343,6 +354,7 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 	e.runCtx = ctx
 	e.cancel.Reset()
 	defer func() { e.runCtx = nil }()
+	faults.Maybe(faults.EngineRun)
 
 	if res == nil {
 		res = &Result{}
@@ -356,6 +368,7 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 	res.Modularity = 0
 	res.TotalIterations = 0
 	res.Timing = Breakdown{}
+	res.Degraded = false
 	par.ForChunkCtx(res.Membership, n, workers, 0, func(mem []int32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mem[i] = int32(i)

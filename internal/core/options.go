@@ -361,4 +361,10 @@ type Result struct {
 	// community assignment after each phase: Levels[0] is the finest
 	// clustering, Levels[len-1] equals Membership.
 	Levels [][]int32
+	// Degraded is set by the serving layer (grappolo.Guard) when this
+	// result was produced under an overload fast profile rather than the
+	// configured options: the membership is a valid clustering, but its
+	// quality is approximate — fewer phases/iterations or coarser
+	// termination thresholds. The engine itself always clears it.
+	Degraded bool
 }

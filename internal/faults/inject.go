@@ -1,0 +1,84 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"sync/atomic"
+	"time"
+)
+
+// Enabled reports whether this build carries live fault probes.
+const Enabled = true
+
+// armed is one armed plan plus its per-site hit counters. Swapped
+// atomically as a unit so Arm never tears a plan mid-flight.
+type armed struct {
+	plan   Plan
+	counts [NumPoints]atomic.Uint64
+}
+
+var current atomic.Pointer[armed]
+
+// Arm installs plan as the active fault plan (replacing any previous one,
+// with fresh hit counters); Arm(nil) disarms all probes. Safe to call
+// concurrently with probes firing.
+func Arm(plan *Plan) {
+	if plan == nil {
+		current.Store(nil)
+		return
+	}
+	a := &armed{plan: *plan}
+	if a.plan.SlowNanos <= 0 {
+		a.plan.SlowNanos = int64(time.Millisecond)
+	}
+	current.Store(a)
+}
+
+// Maybe is the panic/slow probe: under an armed plan it counts the hit and
+// may sleep and/or panic with an Injected value per the plan's selectors.
+func Maybe(p Point) {
+	a := current.Load()
+	if a == nil {
+		return
+	}
+	n := a.counts[p].Add(1)
+	if strike(a.plan.Seed, saltSlow, p, n, a.plan.SlowEvery[p]) {
+		time.Sleep(time.Duration(a.plan.SlowNanos))
+	}
+	if strike(a.plan.Seed, saltPanic, p, n, a.plan.PanicEvery[p]) {
+		panic(Injected{Point: p, Hit: n})
+	}
+}
+
+// ShouldCancel is the forced-cancellation probe: a strike tells the caller
+// to behave exactly as if its context had just been canceled.
+func ShouldCancel(p Point) bool {
+	a := current.Load()
+	if a == nil {
+		return false
+	}
+	if a.plan.CancelEvery[p] <= 0 {
+		return false
+	}
+	n := a.counts[p].Add(1)
+	return strike(a.plan.Seed, saltCancel, p, n, a.plan.CancelEvery[p])
+}
+
+// Hits returns how many times point p has fired under the current plan
+// (0 when disarmed) — test observability for "the probe was actually
+// reached" assertions.
+func Hits(p Point) uint64 {
+	a := current.Load()
+	if a == nil {
+		return 0
+	}
+	return a.counts[p].Load()
+}
+
+// Per-fault-kind salts keep the panic/slow/cancel strike streams of one
+// seed independent.
+const (
+	saltPanic  = 0x70616e6963 // "panic"
+	saltSlow   = 0x736c6f77   // "slow"
+	saltCancel = 0x636e636c   // "cncl"
+)

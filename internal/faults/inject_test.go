@@ -1,0 +1,120 @@
+//go:build faultinject
+
+package faults
+
+import (
+	"testing"
+	"time"
+)
+
+// record runs n hits of Maybe at p and returns which ordinals panicked.
+func record(p Point, n int) []uint64 {
+	var hits []uint64
+	for i := 0; i < n; i++ {
+		func() {
+			defer func() {
+				if v := recover(); v != nil {
+					inj, ok := v.(Injected)
+					if !ok {
+						panic(v)
+					}
+					hits = append(hits, inj.Hit)
+				}
+			}()
+			Maybe(p)
+		}()
+	}
+	return hits
+}
+
+// TestStrikesAreSeededDeterministic pins the reproducibility contract:
+// re-arming the same plan yields the same strike ordinals, a different
+// seed yields a different set.
+func TestStrikesAreSeededDeterministic(t *testing.T) {
+	defer Arm(nil)
+	plan := Plan{Seed: 42}
+	plan.PanicEvery[EngineRun] = 3
+
+	Arm(&plan)
+	first := record(EngineRun, 200)
+	Arm(&plan)
+	second := record(EngineRun, 200)
+	if len(first) == 0 {
+		t.Fatal("an every-3 plan never struck in 200 hits")
+	}
+	if len(first) != len(second) {
+		t.Fatalf("replay produced %d strikes, want %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("strike %d at hit %d on replay, hit %d first — not deterministic", i, second[i], first[i])
+		}
+	}
+
+	other := plan
+	other.Seed = 43
+	Arm(&other)
+	third := record(EngineRun, 200)
+	same := len(third) == len(first)
+	if same {
+		for i := range first {
+			if first[i] != third[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical strike sets")
+	}
+}
+
+// TestEveryOneStrikesEveryHit pins the k == 1 single-fault setting the
+// deterministic unit tests rely on, and that sites are independent.
+func TestEveryOneStrikesEveryHit(t *testing.T) {
+	defer Arm(nil)
+	plan := Plan{Seed: 7}
+	plan.PanicEvery[PoolServe] = 1
+	Arm(&plan)
+	if got := record(PoolServe, 10); len(got) != 10 {
+		t.Fatalf("every-1 plan struck %d/10 hits", len(got))
+	}
+	// An unconfigured site never fires, even under the same armed plan.
+	if got := record(EngineRun, 10); len(got) != 0 {
+		t.Fatalf("unconfigured site struck %d times", len(got))
+	}
+	if Hits(PoolServe) != 10 || Hits(EngineRun) != 10 {
+		t.Fatalf("hit counters = %d/%d, want 10/10", Hits(PoolServe), Hits(EngineRun))
+	}
+}
+
+// TestCancelAndDisarm pins ShouldCancel and that Arm(nil) silences
+// everything immediately.
+func TestCancelAndDisarm(t *testing.T) {
+	defer Arm(nil)
+	plan := Plan{Seed: 1}
+	plan.CancelEvery[EngineBarrier] = 1
+	Arm(&plan)
+	if !ShouldCancel(EngineBarrier) {
+		t.Fatal("every-1 cancel plan did not fire")
+	}
+	Arm(nil)
+	if ShouldCancel(EngineBarrier) {
+		t.Fatal("disarmed probe fired")
+	}
+	Maybe(EngineRun) // must be inert when disarmed
+}
+
+// TestSlowInjectsLatency pins the slow-run fault: an every-1 slow plan
+// must delay the probe by at least the configured duration.
+func TestSlowInjectsLatency(t *testing.T) {
+	defer Arm(nil)
+	plan := Plan{Seed: 9, SlowNanos: int64(20 * time.Millisecond)}
+	plan.SlowEvery[EngineRun] = 1
+	Arm(&plan)
+	start := time.Now()
+	Maybe(EngineRun)
+	if d := time.Since(start); d < 20*time.Millisecond {
+		t.Fatalf("slow probe returned after %v, want >= 20ms", d)
+	}
+}

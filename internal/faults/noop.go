@@ -1,0 +1,16 @@
+//go:build !faultinject
+
+package faults
+
+// Enabled reports whether this build carries live fault probes.
+const Enabled = false
+
+// Maybe is a no-op without the faultinject build tag; the empty body is
+// inlined away, so carrying probes in hot serving paths costs nothing.
+func Maybe(Point) {}
+
+// ShouldCancel never fires without the faultinject build tag.
+func ShouldCancel(Point) bool { return false }
+
+// Hits always reports zero without the faultinject build tag.
+func Hits(Point) uint64 { return 0 }

@@ -2,8 +2,16 @@ package par
 
 import (
 	"context"
+	"errors"
 	"sync"
 )
+
+// ErrQueueFull is returned by AcquireLimited when the semaphore's wait
+// queue already holds the caller's limit of live waiters. It is the
+// primitive behind fast load shedding: the caller learns immediately —
+// without enqueuing, without a timer — that admission would exceed the
+// queue depth it is prepared to tolerate.
+var ErrQueueFull = errors.New("par: fair semaphore queue is full")
 
 // FairSem is a FIFO counting semaphore: permits are granted to waiters in
 // strict arrival order, so a burst of acquirers drains in the order it
@@ -27,6 +35,7 @@ type FairSem struct {
 	head   *semWaiter // FIFO queue of blocked acquirers
 	tail   *semWaiter
 	free   *semWaiter // recycled waiter records
+	queued int        // live (non-canceled) waiters currently in the queue
 	waited int64      // total acquires that had to queue (monotonic)
 }
 
@@ -64,13 +73,7 @@ func (s *FairSem) Available() int {
 func (s *FairSem) QueueLen() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	n := 0
-	for w := s.head; w != nil; w = w.next {
-		if !w.canceled {
-			n++
-		}
-	}
-	return n
+	return s.queued
 }
 
 // Waited returns the total number of Acquire calls that found no free
@@ -100,11 +103,27 @@ func (s *FairSem) TryAcquire() bool {
 // returns ctx.Err() and the caller holds nothing; a permit granted
 // concurrently with the cancellation is passed on to the next waiter.
 func (s *FairSem) Acquire(ctx context.Context) error {
+	return s.AcquireLimited(ctx, -1)
+}
+
+// AcquireLimited is Acquire refusing to queue behind more than maxQueued
+// live waiters: when no permit is free and the queue already holds
+// maxQueued entries it returns ErrQueueFull immediately, having touched
+// nothing — the caller never occupies a queue slot it would only abandon.
+// The depth check and the enqueue are one atomic step under the semaphore
+// mutex, so the bound is exact under any interleaving. maxQueued < 0 means
+// unlimited (plain Acquire); maxQueued == 0 admits only requests that can
+// take a free permit without queueing at all.
+func (s *FairSem) AcquireLimited(ctx context.Context, maxQueued int) error {
 	s.mu.Lock()
 	if s.head == nil && s.avail > 0 {
 		s.avail--
 		s.mu.Unlock()
 		return nil
+	}
+	if maxQueued >= 0 && s.queued >= maxQueued {
+		s.mu.Unlock()
+		return ErrQueueFull
 	}
 	w := s.enqueue()
 	s.waited++
@@ -134,6 +153,7 @@ func (s *FairSem) Acquire(ctx context.Context) error {
 			// and collected by the release that reaches it — its turn passes
 			// to its successor rather than being lost.
 			w.canceled = true
+			s.queued--
 		}
 		s.mu.Unlock()
 		return ctx.Err()
@@ -163,6 +183,7 @@ func (s *FairSem) releaseLocked() {
 			continue
 		}
 		w.granted = true
+		s.queued--
 		w.ready <- struct{}{}
 		return
 	}
@@ -184,6 +205,7 @@ func (s *FairSem) enqueue() *semWaiter {
 		s.tail.next = w
 	}
 	s.tail = w
+	s.queued++
 	return w
 }
 

@@ -208,3 +208,76 @@ func TestFairSemWarmCycleZeroAllocs(t *testing.T) {
 		t.Errorf("uncontended warm Acquire/Release allocates %v times, want 0", allocs)
 	}
 }
+
+// TestFairSemAcquireLimitedDepthBound pins the bounded-queue contract:
+// with the queue at the limit AcquireLimited returns ErrQueueFull
+// immediately without occupying a slot, a below-limit acquire queues
+// normally, and limit 0 refuses any queueing at all.
+func TestFairSemAcquireLimitedDepthBound(t *testing.T) {
+	s := NewFairSem(1)
+	if err := s.AcquireLimited(nil, 0); err != nil {
+		t.Fatalf("free-permit AcquireLimited(0) = %v, want success (no queueing needed)", err)
+	}
+	// Queue is empty, permit is held: limit 0 must refuse immediately.
+	start := time.Now()
+	if err := s.AcquireLimited(context.Background(), 0); err != ErrQueueFull {
+		t.Fatalf("AcquireLimited(0) with held permit = %v, want ErrQueueFull", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("queue-full refusal was not fast")
+	}
+
+	// One waiter fits under limit 1; the second is refused at the bound.
+	done := make(chan error, 1)
+	go func() { done <- s.AcquireLimited(context.Background(), 1) }()
+	waitQueueLen(t, s, 1)
+	if err := s.AcquireLimited(context.Background(), 1); err != ErrQueueFull {
+		t.Fatalf("over-limit AcquireLimited = %v, want ErrQueueFull", err)
+	}
+	if s.QueueLen() != 1 {
+		t.Fatalf("refused acquire disturbed the queue: len %d, want 1", s.QueueLen())
+	}
+	s.Release()
+	if err := <-done; err != nil {
+		t.Fatalf("queued waiter: %v", err)
+	}
+	s.Release()
+	if s.Available() != 1 {
+		t.Fatalf("available = %d, want 1", s.Available())
+	}
+}
+
+// TestFairSemQueueLenTracksCancellation pins the O(1) queued counter the
+// depth bound reads: canceled waiters leave the count immediately (lazy
+// removal of the record notwithstanding), grants decrement it, and a
+// post-cancel release still hands the permit past the canceled entry.
+func TestFairSemQueueLenTracksCancellation(t *testing.T) {
+	s := NewFairSem(1)
+	if err := s.Acquire(nil); err != nil {
+		t.Fatal(err)
+	}
+	ctxA, cancelA := context.WithCancel(context.Background())
+	errA := make(chan error, 1)
+	go func() { errA <- s.Acquire(ctxA) }()
+	waitQueueLen(t, s, 1)
+	errB := make(chan error, 1)
+	go func() { errB <- s.Acquire(context.Background()) }()
+	waitQueueLen(t, s, 2)
+
+	cancelA()
+	if err := <-errA; err != context.Canceled {
+		t.Fatalf("canceled waiter = %v, want context.Canceled", err)
+	}
+	waitQueueLen(t, s, 1) // the counter dropped before the record is collected
+
+	// With one live waiter and limit 1, the bound is already met.
+	if err := s.AcquireLimited(context.Background(), 1); err != ErrQueueFull {
+		t.Fatalf("AcquireLimited at bound = %v, want ErrQueueFull", err)
+	}
+	s.Release() // skips the canceled record, grants B
+	if err := <-errB; err != nil {
+		t.Fatalf("waiter B: %v", err)
+	}
+	waitQueueLen(t, s, 0)
+	s.Release()
+}

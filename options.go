@@ -276,30 +276,48 @@ func Async() Option {
 // first invalid setting.
 func buildOptions(opts []Option) (core.Options, error) {
 	var c config
-	for _, o := range opts {
-		if o == nil {
-			return core.Options{}, fmt.Errorf("grappolo: nil Option")
-		}
-		if err := o(&c); err != nil {
-			return core.Options{}, err
-		}
-	}
-	if err := c.opts.Validate(); err != nil {
+	if err := applyOptions(&c, opts); err != nil {
 		return core.Options{}, err
 	}
-	// Public-surface coherence: an option that only acts when coloring is
-	// enabled must not silently do nothing (the same contract Validate
-	// enforces for VFChainCompression-without-VertexFollowing).
+	if err := validateConfig(&c); err != nil {
+		return core.Options{}, err
+	}
+	return c.opts, nil
+}
+
+// applyOptions applies opts to c in order. Split from buildOptions so the
+// Guard can layer a degraded profile's overrides on top of a pool's
+// already-built options before re-validating the combination.
+func applyOptions(c *config, opts []Option) error {
+	for _, o := range opts {
+		if o == nil {
+			return fmt.Errorf("grappolo: nil Option")
+		}
+		if err := o(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateConfig runs the core validation plus the public-surface
+// coherence checks: an option that only acts when coloring is enabled must
+// not silently do nothing (the same contract Validate enforces for
+// VFChainCompression-without-VertexFollowing).
+func validateConfig(c *config) error {
+	if err := c.opts.Validate(); err != nil {
+		return err
+	}
 	if c.opts.Coloring == core.ColorOff {
 		if c.opts.ColorBalance != core.BalanceOff {
-			return core.Options{}, fmt.Errorf("grappolo: Balance requires Coloring(...)")
+			return fmt.Errorf("grappolo: Balance requires Coloring(...)")
 		}
 		if c.opts.ColoringVertexCutoff != 0 {
-			return core.Options{}, fmt.Errorf("grappolo: ColoringCutoff requires Coloring(...)")
+			return fmt.Errorf("grappolo: ColoringCutoff requires Coloring(...)")
 		}
 	}
 	if c.opts.AutoBalanceArcRSD != 0 && c.opts.ColorBalance != core.BalanceAuto {
-		return core.Options{}, fmt.Errorf("grappolo: AutoBalanceThreshold requires Balance(BalanceAuto)")
+		return fmt.Errorf("grappolo: AutoBalanceThreshold requires Balance(BalanceAuto)")
 	}
-	return c.opts, nil
+	return nil
 }

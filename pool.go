@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"grappolo/internal/core"
+	"grappolo/internal/faults"
 	"grappolo/internal/par"
 )
 
@@ -42,6 +43,7 @@ type Pool struct {
 
 	led      atomic.Int64 // engine runs started
 	canceled atomic.Int64 // requests that returned ctx.Err()
+	faulted  atomic.Int64 // engines quarantined after a panicking run
 
 	mu   sync.Mutex
 	idle []*pooledEngine
@@ -65,6 +67,12 @@ type PoolStats struct {
 	// error, whether canceled while queued, while following a batch, or
 	// mid-run.
 	Canceled int64
+	// Faulted counts engines quarantined because their run panicked: a
+	// panicking engine's scratch is suspect, so it is dropped instead of
+	// recycled and its slot lazily re-creates a fresh engine. A nonzero
+	// Faulted under production traffic means engine bugs (or injected
+	// faults) are being absorbed by the serving layer.
+	Faulted int64
 }
 
 // pooledEngine pairs an engine with the largest graph shape it has served,
@@ -86,11 +94,17 @@ func NewPool(size int, opts ...Option) (*Pool, error) {
 	if err != nil {
 		return nil, err
 	}
+	return newPoolCore(size, o), nil
+}
+
+// newPoolCore builds a pool directly over pre-validated internal options —
+// the constructor behind NewPool and the Guard's degraded engine set.
+func newPoolCore(size int, o core.Options) *Pool {
 	return &Pool{
 		opts: o,
 		sem:  par.NewFairSem(size),
 		idle: make([]*pooledEngine, 0, size),
-	}, nil
+	}
 }
 
 // Size returns the maximum number of engines (and concurrent detections).
@@ -102,6 +116,7 @@ func (p *Pool) Stats() PoolStats {
 		Led:      p.led.Load(),
 		Waited:   p.sem.Waited(),
 		Canceled: p.canceled.Load(),
+		Faulted:  p.faulted.Load(),
 	}
 }
 
@@ -118,6 +133,9 @@ func (p *Pool) Detect(ctx context.Context, g *Graph) (*Result, error) {
 // in makes warm same-shape requests allocate nothing at all. A nil res
 // allocates a fresh Result.
 func (p *Pool) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, error) {
+	if g == nil {
+		return nil, ErrNilGraph
+	}
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -125,18 +143,31 @@ func (p *Pool) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result, 
 		p.canceled.Add(1)
 		return nil, err
 	}
+	// The permit is released on every exit — including a panicking run (an
+	// engine bug surfaced to a server that recovers per request) — or Size
+	// panics would shrink the pool into a permanent deadlock.
+	defer p.sem.Release()
 	pe := p.take(g.N())
-	// Deferred release: a panicking run (engine bug surfaced to a server
-	// that recovers per request) must not leak the permit and engine, or
-	// Size panics would shrink the pool into a permanent deadlock. The
-	// maxN update runs before the defer fires, so an engine is never
-	// visible in the idle list with a stale size class.
+	completed := false
+	// Quarantine on panic: a run that did not complete normally may have
+	// left the engine's scratch in an arbitrary state, so the engine is
+	// DROPPED, never recycled — the released permit lazily re-creates a
+	// fresh engine on the next take. This defer runs before the permit
+	// release above (LIFO), so an engine's fate is always decided while
+	// its slot is still held. The maxN update below runs before either
+	// defer fires, so an engine is never visible in the idle list with a
+	// stale size class.
 	defer func() {
+		if !completed {
+			p.faulted.Add(1)
+			return
+		}
 		p.put(pe)
-		p.sem.Release()
 	}()
 	p.led.Add(1)
+	faults.Maybe(faults.PoolServe)
 	res, err := pe.eng.RunIntoCtx(ctx, g, res)
+	completed = true
 	// Only a completed run has demonstrably grown the engine's scratch to
 	// this shape; a canceled run may have bailed before touching it, and
 	// counting it would misclassify a cold engine as the warmest fit.

@@ -15,6 +15,9 @@
 //	grappolo -input rgg -serve -batch -maxqueue 8 -deadline 2s -degrade 4
 //	                                        # …guarded: shedding, deadline
 //	                                        #   budget, degraded fast profile
+//	grappolo -input rgg -serve -shards 4 -exchange 2
+//	                                        # …sharded: ghost-label-exchange
+//	                                        #   partitioned detection
 package main
 
 import (
@@ -69,6 +72,8 @@ func run(args []string) error {
 		maxqueue  = fs.Int("maxqueue", -1, "with -serve: guard the stack, shedding requests that would queue deeper than this (-1 = unbounded)")
 		deadline  = fs.Duration("deadline", 0, "with -serve: guard the stack with this default per-request detection deadline (0 = none)")
 		degrade   = fs.Int("degrade", 0, "with -serve: guard the stack, serving requests queued at this depth or beyond with the degraded fast profile (0 = off)")
+		shards    = fs.Int("shards", 0, "with -serve: serve through the Sharded tier, partitioning the graph into this many shards with ghost-label exchange (0 = off)")
+		exchange  = fs.Int("exchange", 2, "with -serve -shards: ghost-label exchange rounds between shard sweeps")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -84,15 +89,24 @@ func run(args []string) error {
 	if *deadline < 0 || *degrade < 0 || *maxqueue < -1 {
 		return fmt.Errorf("invalid guard flag (-maxqueue >= -1, -deadline >= 0, -degrade >= 0)")
 	}
+	if *shards < 0 || *exchange < 0 {
+		return fmt.Errorf("invalid sharding flag (-shards >= 0, -exchange >= 0)")
+	}
 	if *serve {
+		if *batch && *shards > 0 {
+			return fmt.Errorf("-batch and -shards are mutually exclusive (a Batcher coalesces pool runs, a Sharded partitions them)")
+		}
 		return serveDemo(g, *workers, *batch, *clients, *requests, *quiet,
-			*maxqueue, *deadline, *degrade)
+			*maxqueue, *deadline, *degrade, *shards, *exchange)
 	}
 	if *batch {
 		return fmt.Errorf("-batch requires -serve")
 	}
 	if *maxqueue >= 0 || *deadline > 0 || *degrade > 0 {
 		return fmt.Errorf("-maxqueue, -deadline and -degrade require -serve")
+	}
+	if *shards > 0 {
+		return fmt.Errorf("-shards requires -serve")
 	}
 
 	var membership []int32
@@ -232,9 +246,12 @@ func run(args []string) error {
 // guard flags (-maxqueue, -deadline, -degrade) wraps the stack in a Guard:
 // shed requests (ErrOverloaded) then count as back-pressure, not failures,
 // and requests admitted under queue pressure may be answered by the
-// degraded fast profile (marked in the stats line).
+// degraded fast profile (marked in the stats line). -shards swaps the
+// backend for the Sharded tier: every request is answered by a partitioned
+// ghost-label-exchange detection whose shard sweeps draw engines from the
+// same pool.
 func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int, quiet bool,
-	maxqueue int, deadline time.Duration, degrade int) error {
+	maxqueue int, deadline time.Duration, degrade, shards, exchange int) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-serve needs positive -clients and -requests")
 	}
@@ -251,6 +268,16 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 		backend = batcher
 		detect = batcher.DetectInto
 		mode = "pool+batcher"
+	}
+	if shards > 0 {
+		sharded, err := grappolo.NewSharded(pool,
+			grappolo.WithShards(shards), grappolo.WithExchangeRounds(exchange))
+		if err != nil {
+			return err
+		}
+		backend = sharded
+		detect = sharded.DetectInto
+		mode = fmt.Sprintf("pool+sharded(%d×%d)", shards, exchange)
 	}
 	var guard *grappolo.Guard
 	if maxqueue >= 0 || deadline > 0 || degrade > 0 {

@@ -146,6 +146,43 @@
 // fault injection — panics, latency, forced cancellations — by the
 // faultinject-tagged chaos tests.
 //
+// # Scaling out: sharded detection with ghost-label exchange
+//
+// The serving tiers above scale REQUESTS; Sharded scales the GRAPH. It
+// partitions the input into shards (block ranges, arc-balanced ranges, or
+// whole connected components), extracts one subgraph per shard in which
+// every external neighbor appears as a frozen GHOST vertex — cut edges are
+// kept as local–ghost halo edges, not dropped — and runs synchronized
+// rounds of local-move sweeps, one engine per shard checked out of the
+// wrapped Pool. Between rounds, shards exchange boundary community labels
+// at a barrier: each shard re-seeds from the latest global labels with its
+// ghosts pinned to their owners' assignments, so a boundary vertex can join
+// a community that lives on another shard. A final master merge coarsens
+// the FULL graph by the exchanged labels (cut edges now aggregated into
+// real meta-edges) and re-clusters the coarse graph with a complete engine
+// run:
+//
+//	sh, err := grappolo.NewSharded(pool,
+//		grappolo.WithShards(8),
+//		grappolo.WithExchangeRounds(2),
+//		grappolo.WithPartition(grappolo.PartitionArcs),
+//	)
+//	...
+//	res, err := sh.Detect(ctx, g) // same Detecter contract as every tier
+//
+// This is the repair of the distributed-memory contrast the paper draws in
+// §7: the partition-and-merge scheme it cites (its ref. [25], emulated in
+// internal/distributed) DISCARDS cut edges during the local phase and loses
+// quality on partition-adversarial inputs. Halo edges plus label exchange
+// recover that quality — the regression tests pin sharded modularity within
+// 2% of the shared-memory Detector on suite graphs with scrambled vertex
+// ids (and strictly above the drop-cut-edges emulation) — while each shard
+// only ever materializes its own subgraph plus a one-vertex-deep halo.
+// Sharded implements Detecter, so it wraps in a Guard like any backend;
+// engine checkouts queue FIFO-fair through the pool, bounding memory under
+// concurrent sharded traffic. Results are deterministic for a fixed graph
+// and configuration at any worker count.
+//
 // Streaming workloads use NewStream, which maintains communities under
 // live edge insertions with batched incremental updates and pooled full
 // re-detections. Synthetic inputs reproducing the paper's 11-graph suite

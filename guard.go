@@ -198,7 +198,7 @@ func MaxInFlight(n int) GuardOption {
 	}
 }
 
-// NewGuard wraps backend — a *Pool or a *Batcher — in a Guard. With no
+// NewGuard wraps backend — a *Pool, *Batcher or *Sharded — in a Guard. With no
 // options the Guard only adds panic quarantine; shedding, deadlines and
 // degradation are enabled by their respective options. Configuration
 // errors (negative bounds, a degrade profile without DegradeAtDepth, an
@@ -210,8 +210,10 @@ func NewGuard(backend Detecter, gopts ...GuardOption) (*Guard, error) {
 		pool = b
 	case *Batcher:
 		pool = b.Pool()
+	case *Sharded:
+		pool = b.Pool()
 	default:
-		return nil, fmt.Errorf("grappolo: NewGuard needs a *Pool or *Batcher backend, got %T", backend)
+		return nil, fmt.Errorf("grappolo: NewGuard needs a *Pool, *Batcher or *Sharded backend, got %T", backend)
 	}
 	c := guardConfig{maxQueue: -1}
 	for _, o := range gopts {
@@ -411,6 +413,8 @@ func backendStats(b Detecter) PoolStats {
 	case *Pool:
 		return b.Stats()
 	case *Batcher:
+		return b.Stats()
+	case *Sharded:
 		return b.Stats()
 	}
 	return PoolStats{}

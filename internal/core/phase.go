@@ -47,6 +47,13 @@ type phaseState struct {
 	// plain dynamic count chunks (the ROADMAP's "consume rebalanced sets
 	// directly" item).
 	arcEvenSets bool
+	// sweepOwn bounds the vertices uncolored sweeps may MOVE: vertices in
+	// [sweepOwn, n) are pinned — they contribute to community aggregates and
+	// attract neighbors but never change community. reset sets it to n
+	// (everything movable); Engine.SweepSeeded narrows it to freeze a ghost
+	// suffix, which is how a shard clusters its own vertices against frozen
+	// images of other shards' boundary vertices.
+	sweepOwn int
 	// aggF/aggI are pooled reduction buffers for the modularity (a_C) and
 	// CPM (node-size) scoring kernels, zeroed per use.
 	aggF []float64
@@ -94,6 +101,7 @@ func (st *phaseState) reset(g *graph.Graph, opts Options, nodeSize []int64, work
 	}
 	st.prefixReady = false
 	st.arcEvenSets = false
+	st.sweepOwn = n
 	// One accumulator per effective worker: community ids live in [0, n),
 	// and a vertex can touch at most OutDegree+1 distinct communities (the
 	// key list grows amortized past that on coarser graphs).
@@ -277,7 +285,10 @@ func (st *phaseState) applyMove(i int, old, next int32) {
 func (st *phaseState) sweepUncolored(workers int) {
 	copy(st.prev, st.curr)
 	st.refreshAggregates(st.prev, workers)
-	par.ForChunkPrefixCtx(st, st.g.ArcOffsets(), workers, func(st *phaseState, w, lo, hi int) {
+	// The arc prefix is truncated to the movable range: a pinned suffix
+	// (sweepOwn < n, see Engine.SweepSeeded) is simply never visited, so the
+	// hot loop carries no per-vertex pin check at all.
+	par.ForChunkPrefixCtx(st, st.g.ArcOffsets()[:st.sweepOwn+1], workers, func(st *phaseState, w, lo, hi int) {
 		if st.stop() { // per-chunk cancellation check; results are discarded
 			return
 		}

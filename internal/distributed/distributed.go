@@ -13,9 +13,11 @@ package distributed
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"grappolo/internal/graph"
+	"grappolo/internal/par"
 	"grappolo/internal/seq"
 )
 
@@ -73,6 +75,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		elapsed    time.Duration
 	}
 	locals := make([]localOut, parts)
+	errs := make([]error, parts)
 	var wg sync.WaitGroup
 	wg.Add(parts)
 	for p := 0; p < parts; p++ {
@@ -86,7 +89,8 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 			}
 			sub, _, err := graph.InducedSubgraph(g, vertices, 1)
 			if err != nil {
-				panic(fmt.Sprintf("distributed: induced subgraph: %v", err)) // unreachable: vertices valid by construction
+				errs[p] = fmt.Errorf("distributed: induced subgraph of partition %d: %w", p, err)
+				return
 			}
 			lres := seq.Run(sub, opts.Local)
 			locals[p] = localOut{
@@ -97,17 +101,30 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		}(p)
 	}
 	wg.Wait()
-
-	// 3. Count ignored cut edges and assign global community ids.
-	for i := 0; i < n; i++ {
-		nbr, _ := g.Neighbors(i)
-		pi := partOf(i, bounds)
-		for _, j := range nbr {
-			if int(j) > i && partOf(int(j), bounds) != pi {
-				res.CutEdges++
-			}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
 		}
 	}
+
+	// 3. Count ignored cut edges (arc-balanced parallel chunks over the CSR
+	// prefix; each edge counted at its lower endpoint) and assign global
+	// community ids.
+	var cut atomic.Int64
+	par.ForChunkPrefix(g.ArcOffsets(), 0, func(_, lo, hi int) {
+		var local int64
+		for i := lo; i < hi; i++ {
+			nbr, _ := g.Neighbors(i)
+			pi := partOf(i, n, parts)
+			for _, j := range nbr {
+				if int(j) > i && partOf(int(j), n, parts) != pi {
+					local++
+				}
+			}
+		}
+		cut.Add(local)
+	})
+	res.CutEdges = cut.Load()
 	offsets := make([]int32, parts+1)
 	for p := 0; p < parts; p++ {
 		offsets[p+1] = offsets[p] + int32(locals[p].numComm)
@@ -138,16 +155,9 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	return res, nil
 }
 
-func partOf(v int, bounds []int) int {
-	// Binary search over the contiguous ranges.
-	lo, hi := 0, len(bounds)-1
-	for lo+1 < hi {
-		mid := (lo + hi) / 2
-		if v >= bounds[mid] {
-			lo = mid
-		} else {
-			hi = mid
-		}
-	}
-	return lo
+// partOf computes the owning partition of v in O(1): range p is
+// [⌊p·n/parts⌋, ⌊(p+1)·n/parts⌋), so p = ⌊((v+1)·parts − 1) / n⌋ — no
+// binary search over bounds needed in the hot cut-edge scan.
+func partOf(v, n, parts int) int {
+	return ((v+1)*parts - 1) / n
 }

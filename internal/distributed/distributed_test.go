@@ -156,11 +156,26 @@ func TestDistributedEmptyAndTiny(t *testing.T) {
 }
 
 func TestPartOf(t *testing.T) {
-	bounds := []int{0, 3, 6, 10}
-	cases := map[int]int{0: 0, 2: 0, 3: 1, 5: 1, 6: 2, 9: 2}
-	for v, want := range cases {
-		if got := partOf(v, bounds); got != want {
-			t.Fatalf("partOf(%d)=%d want %d", v, got, want)
+	// The O(1) arithmetic must match the bounds definition
+	// bounds[p] = ⌊p·n/parts⌋ for every (n, parts, v).
+	for _, parts := range []int{1, 2, 3, 4, 7, 10} {
+		for _, n := range []int{1, 3, 10, 17, 100} {
+			if parts > n {
+				continue
+			}
+			bounds := make([]int, parts+1)
+			for p := 0; p <= parts; p++ {
+				bounds[p] = p * n / parts
+			}
+			for v := 0; v < n; v++ {
+				want := 0
+				for want+1 < parts && v >= bounds[want+1] {
+					want++
+				}
+				if got := partOf(v, n, parts); got != want {
+					t.Fatalf("partOf(%d, n=%d, parts=%d)=%d want %d", v, n, parts, got, want)
+				}
+			}
 		}
 	}
 }

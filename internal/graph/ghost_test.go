@@ -1,0 +1,123 @@
+package graph
+
+import (
+	"math"
+	"testing"
+)
+
+// path 0-1-2-3 plus a triangle 3-4-5-3 and a self-loop at 1.
+func ghostFixture(t *testing.T) *Graph {
+	t.Helper()
+	b := NewBuilder(6)
+	b.AddEdge(0, 1, 1)
+	b.AddEdge(1, 2, 2)
+	b.AddEdge(2, 3, 1)
+	b.AddEdge(3, 4, 1)
+	b.AddEdge(4, 5, 3)
+	b.AddEdge(5, 3, 1)
+	b.AddEdge(1, 1, 5)
+	return b.Build(1)
+}
+
+func TestGhostSubgraphKeepsCutEdgesAsHalo(t *testing.T) {
+	g := ghostFixture(t)
+	sub, ghosts, remap, err := GhostSubgraph(g, []int32{0, 1, 2}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatalf("invalid ghost subgraph: %v", err)
+	}
+	// Locals 0,1,2 → 0,1,2; the only external neighbor is 3 (via edge 2-3).
+	if len(ghosts) != 1 || ghosts[0] != 3 {
+		t.Fatalf("ghosts = %v, want [3]", ghosts)
+	}
+	if sub.N() != 4 {
+		t.Fatalf("n = %d, want 4", sub.N())
+	}
+	for v, want := range map[int32]int32{0: 0, 1: 1, 2: 2, 3: 3, 4: -1, 5: -1} {
+		if remap[v] != want {
+			t.Fatalf("remap[%d] = %d, want %d", v, remap[v], want)
+		}
+	}
+	// The cut edge {2,3} is kept as a halo edge to the ghost, weight intact.
+	if w, ok := sub.EdgeWeight(2, 3); !ok || w != 1 {
+		t.Fatalf("halo edge weight = %v (ok=%v), want 1", w, ok)
+	}
+	// Interior edges and the self-loop carry over.
+	if w, _ := sub.EdgeWeight(1, 2); w != 2 {
+		t.Fatalf("interior edge weight = %v, want 2", w)
+	}
+	if sub.SelfLoopWeight(1) != 5 {
+		t.Fatalf("self-loop weight = %v, want 5", sub.SelfLoopWeight(1))
+	}
+	// The ghost's degree counts only its halo edge — not its edges to 4,5.
+	if d := sub.Degree(3); d != 1 {
+		t.Fatalf("ghost degree = %v, want 1", d)
+	}
+}
+
+func TestGhostSubgraphGhostOrderAndMultipleHalo(t *testing.T) {
+	g := ghostFixture(t)
+	// Locals {3}: externals are 2, 4, 5 — ghosts must come back ascending.
+	sub, ghosts, _, err := GhostSubgraph(g, []int32{3}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sub.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(ghosts) != 3 || ghosts[0] != 2 || ghosts[1] != 4 || ghosts[2] != 5 {
+		t.Fatalf("ghosts = %v, want [2 4 5]", ghosts)
+	}
+	// No ghost–ghost edge: 4 and 5 are adjacent in g, absent in sub.
+	if sub.HasEdge(2, 3) {
+		t.Fatal("unexpected ghost-ghost edge between ghosts of 4 and 5")
+	}
+	// All three halo edges present from the single local (sub vertex 0).
+	if sub.OutDegree(0) != 3 {
+		t.Fatalf("local out-degree = %d, want 3", sub.OutDegree(0))
+	}
+}
+
+func TestGhostSubgraphWholeGraphHasNoGhosts(t *testing.T) {
+	g := ghostFixture(t)
+	all := []int32{0, 1, 2, 3, 4, 5}
+	sub, ghosts, _, err := GhostSubgraph(g, all, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ghosts) != 0 {
+		t.Fatalf("ghosts = %v, want none", ghosts)
+	}
+	if sub.N() != g.N() || sub.ArcCount() != g.ArcCount() {
+		t.Fatalf("whole-graph extraction changed shape: n=%d arcs=%d", sub.N(), sub.ArcCount())
+	}
+	if math.Abs(sub.TotalWeight()-g.TotalWeight()) > 1e-12 {
+		t.Fatalf("total weight %v != %v", sub.TotalWeight(), g.TotalWeight())
+	}
+}
+
+func TestGhostSubgraphRejectsBadInput(t *testing.T) {
+	g := ghostFixture(t)
+	if _, _, _, err := GhostSubgraph(g, []int32{0, 0}, 1); err == nil {
+		t.Fatal("duplicate vertex accepted")
+	}
+	if _, _, _, err := GhostSubgraph(g, []int32{-1}, 1); err == nil {
+		t.Fatal("negative vertex accepted")
+	}
+	if _, _, _, err := GhostSubgraph(g, []int32{6}, 1); err == nil {
+		t.Fatal("out-of-range vertex accepted")
+	}
+}
+
+func TestGhostSubgraphEmptySelection(t *testing.T) {
+	g := ghostFixture(t)
+	sub, ghosts, _, err := GhostSubgraph(g, nil, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.N() != 0 || len(ghosts) != 0 {
+		t.Fatalf("empty selection: n=%d ghosts=%v", sub.N(), ghosts)
+	}
+}

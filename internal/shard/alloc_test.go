@@ -1,0 +1,73 @@
+package shard
+
+import (
+	"context"
+	"sync"
+	"testing"
+
+	"grappolo/internal/core"
+	"grappolo/internal/generate"
+)
+
+// cachedEngines recycles engines across Acquire calls, the warm-source
+// shape the public pool-backed tier provides: after the first run every
+// engine's scratch is grown, so later runs exercise the steady state.
+type cachedEngines struct {
+	opts core.Options
+	mu   sync.Mutex
+	free []*core.Engine
+}
+
+func (c *cachedEngines) Acquire(ctx context.Context, n int) (*core.Engine, func(ok bool), error) {
+	if err := ctx.Err(); err != nil {
+		return nil, nil, err
+	}
+	c.mu.Lock()
+	var e *core.Engine
+	if k := len(c.free); k > 0 {
+		e = c.free[k-1]
+		c.free = c.free[:k-1]
+	} else {
+		e = core.NewEngine(c.opts)
+	}
+	c.mu.Unlock()
+	return e, func(ok bool) {
+		if ok {
+			c.mu.Lock()
+			c.free = append(c.free, e)
+			c.mu.Unlock()
+		}
+	}, nil
+}
+
+func TestShardedRunAllocsBounded(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	// A sharded run allocates per call by design (subgraphs, label buffers,
+	// the coarse graph), but with warm recycled engines the ALLOCATION COUNT
+	// must stay a function of shards × rounds only, never of graph size —
+	// the regression this pins is an accidental per-vertex or per-edge
+	// allocation sneaking into the round loop.
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
+	src := &cachedEngines{opts: core.Options{Workers: 1}}
+	opts := Options{Shards: 4, Rounds: 2, Workers: 1}
+	ctx := context.Background()
+	if _, err := Run(ctx, g, opts, src); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if _, err := Run(ctx, g, opts, src); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// Budget: a fixed overhead per shard per round (seed compression,
+	// engine handoff, goroutine) plus the per-run fixed set (partition,
+	// subgraphs, label arrays, coarsen, merge). 60×(shards×(rounds+1))+200
+	// is ~4× the measured count — slack for runtime noise, failing loudly
+	// on any O(n) regression (the Small RGG has >10k vertices).
+	limit := float64(60*opts.Shards*(opts.Rounds+1) + 200)
+	if allocs > limit {
+		t.Errorf("warm sharded run allocates %v times, want <= %v", allocs, limit)
+	}
+}

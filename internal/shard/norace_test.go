@@ -1,0 +1,8 @@
+//go:build !race
+
+package shard
+
+// raceEnabled gates allocation-regression tests: the race detector's
+// instrumentation allocates, so allocation-bound assertions only hold
+// without it.
+const raceEnabled = false

@@ -1,0 +1,255 @@
+package grappolo_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+	"testing"
+
+	"grappolo"
+	"grappolo/internal/distributed"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+	"grappolo/internal/seq"
+)
+
+var _ grappolo.Detecter = (*grappolo.Sharded)(nil)
+
+// scrambledSuiteGraph returns a Small suite graph with its vertex ids
+// randomly permuted — the adversarial case for any contiguous-range
+// partition, since planted communities no longer align with id ranges.
+func scrambledSuiteGraph(t *testing.T, in generate.Input, gseed, pseed uint64) *grappolo.Graph {
+	t.Helper()
+	g := generate.MustGenerate(in, generate.Small, gseed, 2)
+	scrambled, err := graph.Relabel(g, graph.RandomPermutation(g.N(), pseed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return scrambled
+}
+
+func newSharded(t *testing.T, poolSize int, sopts ...grappolo.ShardOption) *grappolo.Sharded {
+	t.Helper()
+	pool, err := grappolo.NewPool(poolSize, grappolo.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := grappolo.NewSharded(pool, sopts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestShardedRecoveryVsSharedMemory(t *testing.T) {
+	// The acceptance bar of the scale-out tier: on a suite graph with
+	// scrambled vertex ids, the sharded path with >= 2 exchange rounds must
+	// land within 2% of the shared-memory Detector's modularity AND strictly
+	// beat the drop-cut-edges distributed emulation. All inputs are seeded,
+	// so the margins are deterministic.
+	g := scrambledSuiteGraph(t, generate.CNR, 0, 13)
+	det, err := grappolo.New(grappolo.Workers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared, err := det.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := newSharded(t, 4, grappolo.WithShards(4), grappolo.WithExchangeRounds(2))
+	res, err := s.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q := seq.Modularity(g, res.Membership, 1); math.Abs(q-res.Modularity) > 1e-9 {
+		t.Fatalf("reported Q=%v but membership scores %v", res.Modularity, q)
+	}
+	if res.Modularity < shared.Modularity*0.98 {
+		t.Fatalf("sharded Q=%.4f below 98%% of shared-memory Q=%.4f", res.Modularity, shared.Modularity)
+	}
+	emu, err := distributed.Run(g, distributed.Options{Parts: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Modularity <= emu.Modularity {
+		t.Fatalf("sharded Q=%.4f does not beat the cut-edge-dropping emulation Q=%.4f",
+			res.Modularity, emu.Modularity)
+	}
+	t.Logf("shared=%.4f sharded=%.4f emulation=%.4f", shared.Modularity, res.Modularity, emu.Modularity)
+}
+
+func TestShardedDeterministicAndReusable(t *testing.T) {
+	g := scrambledSuiteGraph(t, generate.MG1, 1, 5)
+	s := newSharded(t, 3, grappolo.WithShards(5), grappolo.WithPartition(grappolo.PartitionArcs))
+	ref, err := s.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Sequential reuse of the same Sharded (and its pool) must be
+	// bit-identical, and concurrent calls must be safe and identical too.
+	var wg sync.WaitGroup
+	results := make([]*grappolo.Result, 4)
+	errs := make([]error, 4)
+	for i := range results {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = s.Detect(context.Background(), g)
+		}(i)
+	}
+	wg.Wait()
+	for i, res := range results {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if res.Modularity != ref.Modularity || res.NumCommunities != ref.NumCommunities {
+			t.Fatalf("call %d diverged: Q=%v/%v", i, res.Modularity, ref.Modularity)
+		}
+		for v := range res.Membership {
+			if res.Membership[v] != ref.Membership[v] {
+				t.Fatalf("call %d: membership diverges at vertex %d", i, v)
+			}
+		}
+	}
+	if led := s.Stats().Led; led == 0 {
+		t.Fatal("no engine checkouts recorded in pool stats")
+	}
+}
+
+func TestShardedBehindGuard(t *testing.T) {
+	// Sharded must slot into the resilience tier like any other backend.
+	g := scrambledSuiteGraph(t, generate.RGG, 0, 3)
+	s := newSharded(t, 2, grappolo.WithShards(3))
+	want, err := s.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	guard, err := grappolo.NewGuard(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := guard.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Modularity != want.Modularity || got.NumCommunities != want.NumCommunities {
+		t.Fatalf("guarded sharded detection diverged: Q=%v/%v", got.Modularity, want.Modularity)
+	}
+	if stats := guard.Stats(); stats.Led == 0 {
+		t.Fatal("guard stats do not surface the sharded pool's counters")
+	}
+}
+
+func TestShardedDetectInto(t *testing.T) {
+	g := scrambledSuiteGraph(t, generate.RGG, 0, 3)
+	s := newSharded(t, 2)
+	res, err := s.Detect(context.Background(), g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Recycling a stale Result must fully overwrite it.
+	stale := &grappolo.Result{Degraded: true, TotalIterations: -1}
+	got, err := s.DetectInto(context.Background(), g, stale)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != stale {
+		t.Fatal("DetectInto did not recycle the provided Result")
+	}
+	if got.Degraded || got.TotalIterations <= 0 {
+		t.Fatalf("stale fields not reset: %+v", got)
+	}
+	if got.Modularity != res.Modularity {
+		t.Fatalf("recycled detection diverged: Q=%v/%v", got.Modularity, res.Modularity)
+	}
+}
+
+func TestShardedValidation(t *testing.T) {
+	if _, err := grappolo.NewSharded(nil); err == nil {
+		t.Fatal("nil pool accepted")
+	}
+	pool, err := grappolo.NewPool(2, grappolo.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name string
+		opt  grappolo.ShardOption
+	}{
+		{"zero shards", grappolo.WithShards(0)},
+		{"negative rounds", grappolo.WithExchangeRounds(-1)},
+		{"unknown mode", grappolo.WithPartition(grappolo.PartitionMode(42))},
+		{"nil option", nil},
+	} {
+		if _, err := grappolo.NewSharded(pool, tc.opt); err == nil {
+			t.Errorf("%s accepted", tc.name)
+		}
+	}
+	cpmPool, err := grappolo.NewPool(2, grappolo.Workers(1), grappolo.CPM(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := grappolo.NewSharded(cpmPool); err == nil {
+		t.Fatal("CPM pool accepted")
+	}
+	s, err := grappolo.NewSharded(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Detect(context.Background(), nil); !errors.Is(err, grappolo.ErrNilGraph) {
+		t.Fatalf("nil graph: err = %v, want ErrNilGraph", err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
+	if _, err := s.Detect(ctx, g); !errors.Is(err, context.Canceled) {
+		t.Fatalf("canceled ctx: err = %v, want context.Canceled", err)
+	}
+}
+
+// BenchmarkShardedDetect measures the sharded tier across a shards ×
+// exchange-rounds grid on the suite RGG input with scrambled vertex ids
+// (the partition-adversarial case): the cost of more shards is more
+// boundary, the cost of more rounds is more sweeps, and the reported
+// modularity shows what each point buys. Engines are pooled and warmed, so
+// steady-state serving is what is measured.
+func BenchmarkShardedDetect(b *testing.B) {
+	base := generate.MustGenerate(generate.RGG, generate.ScaleFromEnv(), 0, 0)
+	g, err := graph.Relabel(base, graph.RandomPermutation(base.N(), 17))
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, shards := range []int{2, 4, 8} {
+		for _, rounds := range []int{0, 2} {
+			b.Run(fmt.Sprintf("shards=%d/rounds=%d", shards, rounds), func(b *testing.B) {
+				pool, err := grappolo.NewPool(runtime.GOMAXPROCS(0), grappolo.Workers(1))
+				if err != nil {
+					b.Fatal(err)
+				}
+				s, err := grappolo.NewSharded(pool,
+					grappolo.WithShards(shards), grappolo.WithExchangeRounds(rounds))
+				if err != nil {
+					b.Fatal(err)
+				}
+				ctx := context.Background()
+				res, err := s.Detect(ctx, g) // warm every engine size class
+				if err != nil {
+					b.Fatal(err)
+				}
+				q := res.Modularity
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if res, err = s.DetectInto(ctx, g, res); err != nil {
+						b.Fatal(err)
+					}
+				}
+				b.StopTimer()
+				b.ReportMetric(q, "Q")
+			})
+		}
+	}
+}

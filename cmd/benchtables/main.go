@@ -19,6 +19,7 @@ import (
 	"runtime"
 	"strings"
 
+	"grappolo/internal/core"
 	"grappolo/internal/generate"
 	"grappolo/internal/harness"
 )
@@ -43,6 +44,7 @@ func run(args []string) error {
 		repeats = fs.Int("repeats", 3, "repeated runs for [min,max] modularity tables")
 		sec7    = fs.Bool("sec7", false, "run the §7 related-work comparison (grappolo vs PLM emulation)")
 		skew    = fs.Bool("colorskew", false, "run the §6.2 color-set skew study (base vs vertex- vs arc-balanced coloring)")
+		layout  = fs.String("layout", "auto", "arc layout the studies run under: auto | split | interleaved (results are bit-identical; only runtimes differ)")
 		csvDir  = fs.String("csv", "", "also write machine-readable CSVs for table 2/3 and figs 3-6 into this directory")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -52,7 +54,11 @@ func run(args []string) error {
 	if err != nil {
 		return err
 	}
-	o := harness.Options{Scale: sc, Workers: *workers, Seed: *seed}.Defaults()
+	lay, err := parseLayout(*layout)
+	if err != nil {
+		return err
+	}
+	o := harness.Options{Scale: sc, Workers: *workers, Seed: *seed, Layout: lay}.Defaults()
 
 	subset := func(def []generate.Input) []generate.Input {
 		if *inputsF == "" {
@@ -298,6 +304,19 @@ func workerSweep() []int {
 		out = append(out, max)
 	}
 	return out
+}
+
+func parseLayout(s string) (core.ArcLayout, error) {
+	switch s {
+	case "auto":
+		return core.ArcLayoutAuto, nil
+	case "split":
+		return core.ArcLayoutSplit, nil
+	case "interleaved":
+		return core.ArcLayoutInterleaved, nil
+	default:
+		return 0, fmt.Errorf("unknown layout %q (auto|split|interleaved)", s)
+	}
 }
 
 func parseScale(s string) (generate.Scale, error) {

@@ -74,6 +74,7 @@ func run(args []string) error {
 		degrade   = fs.Int("degrade", 0, "with -serve: guard the stack, serving requests queued at this depth or beyond with the degraded fast profile (0 = off)")
 		shards    = fs.Int("shards", 0, "with -serve: serve through the Sharded tier, partitioning the graph into this many shards with ghost-label exchange (0 = off)")
 		exchange  = fs.Int("exchange", 2, "with -serve -shards: ghost-label exchange rounds between shard sweeps")
+		layoutF   = fs.String("layout", "split", "arc layout of the input graph: split | interleaved (coarse graphs inherit it; results are bit-identical, only runtimes differ)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -82,6 +83,15 @@ func run(args []string) error {
 	g, err := loadGraph(*file, *input, *scale, *seed, *workers)
 	if err != nil {
 		return err
+	}
+	switch *layoutF {
+	case "split": // what every loader and generator builds
+	case "interleaved":
+		if err := grappolo.SetGraphLayout(g, grappolo.LayoutInterleaved, *workers); err != nil {
+			return err
+		}
+	default:
+		return fmt.Errorf("unknown layout %q (split|interleaved)", *layoutF)
 	}
 	if *stats {
 		fmt.Println(grappolo.ComputeGraphStats(g))

@@ -1,6 +1,10 @@
 package grappolo
 
-import "grappolo/internal/graph"
+import (
+	"fmt"
+
+	"grappolo/internal/graph"
+)
 
 // Graph is an immutable weighted undirected graph in CSR (compressed sparse
 // row) form, the input of every detection run. Vertex ids are dense in
@@ -31,6 +35,41 @@ func NewBuilder(n int) *Builder { return graph.NewBuilder(n) }
 // workers parallel workers (<= 0 selects all CPUs).
 func FromEdges(n int, edges []Edge, workers int) *Graph {
 	return graph.FromEdges(n, edges, workers)
+}
+
+// FromEdgesLayout is FromEdges building the graph with the given arc layout:
+// LayoutAuto and LayoutSplit build the default two-stream CSR, while
+// LayoutInterleaved additionally packs the one-stream (id, weight) arc array
+// the sweep kernels consume. The layout is purely a memory choice — detection
+// results are bit-identical under every value.
+func FromEdgesLayout(n int, edges []Edge, workers int, k LayoutKind) (*Graph, error) {
+	var l graph.Layout
+	switch k {
+	case LayoutAuto, LayoutSplit:
+		l = graph.LayoutSplit
+	case LayoutInterleaved:
+		l = graph.LayoutInterleaved
+	default:
+		return nil, fmt.Errorf("grappolo: unknown LayoutKind %d", k)
+	}
+	return graph.FromEdgesLayout(n, edges, workers, l), nil
+}
+
+// SetGraphLayout converts an existing graph to the given arc layout in place
+// (LayoutAuto is a no-op). Converting to LayoutInterleaved materializes the
+// packed arc array next to the always-present two-stream CSR; converting to
+// LayoutSplit drops it. workers <= 0 selects all CPUs.
+func SetGraphLayout(g *Graph, k LayoutKind, workers int) error {
+	switch k {
+	case LayoutAuto:
+	case LayoutSplit:
+		g.SetLayout(graph.LayoutSplit, workers)
+	case LayoutInterleaved:
+		g.SetLayout(graph.LayoutInterleaved, workers)
+	default:
+		return fmt.Errorf("grappolo: unknown LayoutKind %d", k)
+	}
+	return nil
 }
 
 // LoadGraph reads a graph file — an edge list, a METIS .graph file, or the

@@ -218,6 +218,20 @@ func (e *Engine) rebuild(g *graph.Graph, membership []int32, numComm, workers in
 	return rebuildInto(&e.rb, e.nextSlot(), g, membership, numComm, workers)
 }
 
+// resolveArcLayout maps the run options plus the input graph to the concrete
+// layout the engine's own graphs (VF-compressed, coarse) are built with:
+// ArcLayoutAuto inherits the input's layout, the explicit settings force one.
+func resolveArcLayout(opts Options, g *graph.Graph) graph.Layout {
+	switch opts.ArcLayout {
+	case ArcLayoutSplit:
+		return graph.LayoutSplit
+	case ArcLayoutInterleaved:
+		return graph.LayoutInterleaved
+	default:
+		return g.Layout()
+	}
+}
+
 // foldCtx carries the membership-fold inputs into the captureless loop body.
 type foldCtx struct {
 	total []int32 // original-vertex membership, updated in place
@@ -376,6 +390,10 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 	})
 
 	cur := g
+	// Every graph the ENGINE builds — the VF-compressed graph and each
+	// inter-phase coarse graph — is converted to this layout; the caller's
+	// input graph itself is never converted in place (it may be shared).
+	coarseLayout := resolveArcLayout(opts, g)
 
 	if stopRequested(ctx, &e.cancel) {
 		return nil, cancelErr(ctx)
@@ -393,6 +411,7 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 		compressed, rounds := e.vertexFollowChain(cur, workers, maxRounds, res.Membership)
 		if rounds > 0 {
 			cur = compressed
+			cur.SetLayout(coarseLayout, workers)
 		}
 		res.Timing.VF = time.Since(t0)
 	}
@@ -560,6 +579,7 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 				nodeSize = e.reaggregateNodeSizes(membership, nodeSize, nc, workers)
 			}
 			cur = e.rebuild(cur, membership, nc, workers)
+			cur.SetLayout(coarseLayout, workers)
 		}
 		stats.RebuildTime = time.Since(t0)
 		res.Timing.Rebuild += stats.RebuildTime

@@ -120,6 +120,8 @@ func TestEngineRunSteadyStateZeroAllocs(t *testing.T) {
 		"vfcolor-auto": {Workers: 1, VertexFollowing: true,
 			Coloring: ColorMultiPhase, ColoringVertexCutoff: 1, ColorBalance: BalanceAuto},
 		"cpm": {Workers: 1, Objective: ObjCPM, CPMGamma: 0.5},
+		"interleaved": {Workers: 1, ArcLayout: ArcLayoutInterleaved,
+			VertexFollowing: true, Coloring: ColorMultiPhase, ColoringVertexCutoff: 1},
 	} {
 		eng := NewEngine(o)
 		res := eng.Run(g)

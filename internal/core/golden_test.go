@@ -5,11 +5,14 @@ import (
 	"testing"
 
 	"grappolo/internal/generate"
+	"grappolo/internal/graph"
 )
 
 // Golden regression values for the DETERMINISTIC configurations (uncolored
 // variants are bit-stable for any worker count; the graph builder is
-// bit-deterministic too). If an intentional algorithm change shifts these,
+// bit-deterministic too). Every case runs under both arc layouts — the
+// interleaved layout is a pure rearrangement, so the goldens must hold
+// bit-identically under it. If an intentional algorithm change shifts these,
 // re-derive them with `go test -run Golden -v` and update — any
 // unintentional shift is a regression.
 func TestGoldenDeterministicRuns(t *testing.T) {
@@ -28,19 +31,25 @@ func TestGoldenDeterministicRuns(t *testing.T) {
 		{generate.LiveJournal, "baseline", 24, "0.832207"},
 	}
 	for _, c := range cases {
-		g := generate.MustGenerate(c.in, generate.Small, 0, 4)
-		var o Options
-		switch c.variant {
-		case "baseline":
-			o = smallOpts(4)
-		case "vf":
-			o = withVF(smallOpts(4))
-		}
-		res := Run(g, o)
-		got := fmt.Sprintf("%.6f", res.Modularity)
-		if res.NumCommunities != c.nc || got != c.qPrefix {
-			t.Errorf("%s/%s: got nc=%d Q=%s, golden nc=%d Q=%s",
-				c.in, c.variant, res.NumCommunities, got, c.nc, c.qPrefix)
+		for _, l := range []ArcLayout{ArcLayoutSplit, ArcLayoutInterleaved} {
+			g := generate.MustGenerate(c.in, generate.Small, 0, 4)
+			if l == ArcLayoutInterleaved {
+				g.SetLayout(graph.LayoutInterleaved, 4)
+			}
+			var o Options
+			switch c.variant {
+			case "baseline":
+				o = smallOpts(4)
+			case "vf":
+				o = withVF(smallOpts(4))
+			}
+			o.ArcLayout = l
+			res := Run(g, o)
+			got := fmt.Sprintf("%.6f", res.Modularity)
+			if res.NumCommunities != c.nc || got != c.qPrefix {
+				t.Errorf("%s/%s/%d: got nc=%d Q=%s, golden nc=%d Q=%s",
+					c.in, c.variant, l, res.NumCommunities, got, c.nc, c.qPrefix)
+			}
 		}
 	}
 }

@@ -1,0 +1,169 @@
+package core
+
+import (
+	"context"
+	"testing"
+
+	"grappolo/internal/coloring"
+	"grappolo/internal/generate"
+	"grappolo/internal/graph"
+)
+
+// splitAndInter builds the same input twice: once in the default split
+// layout, once converted to the interleaved layout. The builder is
+// bit-deterministic, so the two graphs hold identical arcs in identical
+// order — any result divergence between them is a kernel bug, not noise.
+func splitAndInter(t *testing.T, in generate.Input) (*graph.Graph, *graph.Graph) {
+	t.Helper()
+	gs := generate.MustGenerate(in, generate.Small, 0, 4)
+	gi := generate.MustGenerate(in, generate.Small, 0, 4)
+	gi.SetLayout(graph.LayoutInterleaved, 4)
+	if gi.Layout() != graph.LayoutInterleaved || gi.Arcs() == nil {
+		t.Fatal("SetLayout(LayoutInterleaved) did not materialize the arc stream")
+	}
+	return gs, gi
+}
+
+// TestLayoutEquivalenceAcrossConfigs pins the tentpole's core contract: the
+// interleaved layout is a pure rearrangement, so every configuration — each
+// forced onto its own coarse layout as well — produces bit-identical
+// memberships and bit-identical scores under both layouts. Colored and async
+// variants run at one worker (their cross-worker schedules are not
+// deterministic); uncolored variants run at four to cover the parallel
+// monomorphic kernels.
+func TestLayoutEquivalenceAcrossConfigs(t *testing.T) {
+	withCPM := func(o Options) Options {
+		o.Objective = ObjCPM
+		o.CPMGamma = 0.5
+		return o
+	}
+	withHier := func(o Options) Options { o.KeepHierarchy = true; return o }
+	variants := map[string]Options{
+		"baseline":  smallOpts(4),
+		"vf":        withVF(smallOpts(4)),
+		"chain":     withChain(withVF(smallOpts(4))),
+		"hierarchy": withHier(smallOpts(4)),
+		"color":     withColor(smallOpts(1)),
+		"arc-bal":   withArcBalance(withColor(smallOpts(1))),
+		"d2":        withD2(withColor(smallOpts(1))),
+		"jp":        withJP(withColor(smallOpts(1))),
+		"cpm":       withCPM(smallOpts(4)),
+		"cpm-color": withCPM(withColor(smallOpts(1))),
+		"async":     PLM(1),
+	}
+	for _, in := range []generate.Input{generate.CNR, generate.EuropeOSM, generate.MG1} {
+		gs, gi := splitAndInter(t, in)
+		for name, o := range variants {
+			os, oi := o, o
+			os.ArcLayout = ArcLayoutSplit
+			oi.ArcLayout = ArcLayoutInterleaved
+			a, b := Run(gs, os), Run(gi, oi)
+			if a.Modularity != b.Modularity || a.NumCommunities != b.NumCommunities {
+				t.Errorf("%s/%s: split nc=%d Q=%v vs interleaved nc=%d Q=%v",
+					in, name, a.NumCommunities, a.Modularity, b.NumCommunities, b.Modularity)
+				continue
+			}
+			for v := range a.Membership {
+				if a.Membership[v] != b.Membership[v] {
+					t.Errorf("%s/%s: membership diverges at vertex %d", in, name, v)
+					break
+				}
+			}
+			if len(a.Levels) != len(b.Levels) {
+				t.Errorf("%s/%s: hierarchy depth %d vs %d", in, name, len(a.Levels), len(b.Levels))
+			}
+		}
+	}
+}
+
+// TestLayoutAutoInheritsInput pins the ArcLayoutAuto contract: the coarse
+// graphs follow the input's layout, and either way results match the forced
+// configurations exactly.
+func TestLayoutAutoInheritsInput(t *testing.T) {
+	gs, gi := splitAndInter(t, generate.CNR)
+	o := smallOpts(4) // ArcLayoutAuto by default
+	forced := o
+	forced.ArcLayout = ArcLayoutInterleaved
+	a, b, c := Run(gs, o), Run(gi, o), Run(gi, forced)
+	if a.Modularity != b.Modularity || b.Modularity != c.Modularity {
+		t.Fatalf("auto runs diverge: %v / %v / %v", a.Modularity, b.Modularity, c.Modularity)
+	}
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] || b.Membership[v] != c.Membership[v] {
+			t.Fatalf("membership diverges at vertex %d", v)
+		}
+	}
+	if gi.Layout() != graph.LayoutInterleaved {
+		t.Fatal("input graph layout was mutated by the engine")
+	}
+	if gs.Layout() != graph.LayoutSplit || gs.Arcs() != nil {
+		t.Fatal("split input grew an arc stream: the engine must never convert the caller's graph")
+	}
+}
+
+// TestSweepModesLayoutEquivalence compares the three sweep bodies head to
+// head across layouts at the phaseState level, so a divergence is pinned to
+// one kernel rather than smeared over a whole run. The colored sweep on a
+// Small input consists entirely of sets below colorMergeCutoff, so this also
+// exercises the merged-set staged path under both layouts.
+func TestSweepModesLayoutEquivalence(t *testing.T) {
+	sweeps := map[string]func(st *phaseState, sets [][]int32){
+		"uncolored": func(st *phaseState, _ [][]int32) { st.sweepUncolored(4) },
+		"colored":   func(st *phaseState, sets [][]int32) { st.sweepColored(sets, 1) },
+		"async":     func(st *phaseState, _ [][]int32) { st.sweepAsync(1) },
+	}
+	for _, in := range []generate.Input{generate.CNR, generate.RGG} {
+		gs, gi := splitAndInter(t, in)
+		cs := coloring.Parallel(gs, 1)
+		for name, sweep := range sweeps {
+			run := func(g *graph.Graph) []int32 {
+				o := Options{Resolution: 1}.Defaults()
+				if name == "async" {
+					o = PLM(1)
+				}
+				st := newPhaseState(g, o, nil, 4)
+				for it := 0; it < 3; it++ {
+					sweep(st, cs.Sets)
+				}
+				out := make([]int32, len(st.curr))
+				copy(out, st.curr)
+				return out
+			}
+			a, b := run(gs), run(gi)
+			for v := range a {
+				if a[v] != b[v] {
+					t.Errorf("%s/%s: membership diverges at vertex %d after 3 sweeps", in, name, v)
+					break
+				}
+			}
+		}
+	}
+}
+
+// TestSweepSeededLayoutEquivalence extends the layout contract to the shard
+// tier's entry point: a seeded, partially pinned sweep returns bit-identical
+// labels and the bit-identical score under both layouts.
+func TestSweepSeededLayoutEquivalence(t *testing.T) {
+	gs, gi := splitAndInter(t, generate.RGG)
+	seed := identitySeed(gs.N())
+	pin := gs.N() * 3 / 4
+	run := func(g *graph.Graph, l ArcLayout) ([]int32, float64) {
+		eng := NewEngine(Options{Workers: 2, ArcLayout: l})
+		out := make([]int32, g.N())
+		_, q, err := eng.SweepSeeded(context.Background(), g, seed, pin, out)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out, q
+	}
+	a, qa := run(gs, ArcLayoutSplit)
+	b, qb := run(gi, ArcLayoutInterleaved)
+	if qa != qb {
+		t.Fatalf("seeded sweep scores diverge: %v vs %v", qa, qb)
+	}
+	for v := range a {
+		if a[v] != b[v] {
+			t.Fatalf("seeded sweep membership diverges at vertex %d", v)
+		}
+	}
+}

@@ -52,6 +52,40 @@ const (
 	BalanceAuto
 )
 
+// ArcLayout selects the CSR arc storage layout the sweep kernels consume
+// on the COARSENED graphs the pipeline builds between phases. The input
+// graph is caller-owned and is never converted in place — choose its layout
+// at construction (graph.Builder.SetLayout / graph.FromEdgesLayout) or with
+// graph.Graph.SetLayout before handing it over.
+type ArcLayout int
+
+const (
+	// ArcLayoutAuto inherits the input graph's layout: a split input yields
+	// split coarse graphs, an interleaved input yields interleaved ones.
+	ArcLayoutAuto ArcLayout = iota
+	// ArcLayoutSplit forces the classic two-stream CSR (neighbor ids and
+	// weights in separate arrays) on coarse graphs.
+	ArcLayoutSplit
+	// ArcLayoutInterleaved forces the packed one-stream CSR (16-byte
+	// (id, weight) arcs) on coarse graphs; the sweep kernels then read one
+	// sequential stream per row instead of gathering from two.
+	ArcLayoutInterleaved
+)
+
+// String names the layout policy for flags and study tables.
+func (l ArcLayout) String() string {
+	switch l {
+	case ArcLayoutAuto:
+		return "auto"
+	case ArcLayoutSplit:
+		return "split"
+	case ArcLayoutInterleaved:
+		return "interleaved"
+	default:
+		return "unknown"
+	}
+}
+
 // Objective selects the quality function being optimized.
 type Objective int
 
@@ -158,6 +192,12 @@ type Options struct {
 	// (ablation only; the paper's baseline always applies it).
 	DisableMinLabel bool
 
+	// ArcLayout selects the arc storage layout of the coarsened graphs the
+	// pipeline rebuilds between phases (default ArcLayoutAuto: inherit the
+	// input graph's layout). Purely a memory-layout switch — results are
+	// bit-identical across layouts.
+	ArcLayout ArcLayout
+
 	// Async switches iterations to asynchronous parallel local moves over
 	// the LIVE community state (no snapshot, no coloring): each vertex
 	// reads whatever its neighbors' assignments are at that instant and
@@ -250,6 +290,9 @@ func (o Options) Validate() error {
 	}
 	if o.ColorBalance < BalanceOff || o.ColorBalance > BalanceAuto {
 		return fmt.Errorf("core: unknown ColorBalance %d", o.ColorBalance)
+	}
+	if o.ArcLayout < ArcLayoutAuto || o.ArcLayout > ArcLayoutInterleaved {
+		return fmt.Errorf("core: unknown ArcLayout %d", o.ArcLayout)
 	}
 	switch o.Objective {
 	case ObjModularity:

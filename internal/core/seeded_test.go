@@ -151,21 +151,26 @@ func TestSweepSeededSteadyStateZeroAllocs(t *testing.T) {
 	if raceEnabled {
 		t.Skip("allocation accounting is not meaningful under -race")
 	}
-	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
-	eng := NewEngine(Options{Workers: 1})
-	seed := identitySeed(g.N())
-	out := make([]int32, g.N())
-	pin := g.N() * 3 / 4
-	if _, _, err := eng.SweepSeeded(context.Background(), g, seed, pin, out); err != nil {
-		t.Fatal(err)
-	}
-	allocs := testing.AllocsPerRun(3, func() {
+	for _, l := range []ArcLayout{ArcLayoutSplit, ArcLayoutInterleaved} {
+		g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
+		if l == ArcLayoutInterleaved {
+			g.SetLayout(graph.LayoutInterleaved, 1)
+		}
+		eng := NewEngine(Options{Workers: 1, ArcLayout: l})
+		seed := identitySeed(g.N())
+		out := make([]int32, g.N())
+		pin := g.N() * 3 / 4
 		if _, _, err := eng.SweepSeeded(context.Background(), g, seed, pin, out); err != nil {
 			t.Fatal(err)
 		}
-	})
-	if allocs != 0 {
-		t.Errorf("warmed SweepSeeded allocates %v times per call, want 0", allocs)
+		allocs := testing.AllocsPerRun(3, func() {
+			if _, _, err := eng.SweepSeeded(context.Background(), g, seed, pin, out); err != nil {
+				t.Fatal(err)
+			}
+		})
+		if allocs != 0 {
+			t.Errorf("layout %d: warmed SweepSeeded allocates %v times per call, want 0", l, allocs)
+		}
 	}
 }
 

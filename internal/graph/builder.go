@@ -19,8 +19,9 @@ type Edge struct {
 // edges (in either orientation) are merged by summing their weights, so the
 // result never contains multi-edges. The zero value is ready to use.
 type Builder struct {
-	n     int
-	edges []Edge
+	n      int
+	edges  []Edge
+	layout Layout
 }
 
 // NewBuilder returns a builder for a graph with n vertices. Additional
@@ -33,6 +34,10 @@ func (b *Builder) Grow(n int) {
 		b.n = n
 	}
 }
+
+// SetLayout selects the arc layout of the graphs this builder produces
+// (default LayoutSplit; see Layout for the trade-off).
+func (b *Builder) SetLayout(l Layout) { b.layout = l }
 
 // AddEdge records the undirected edge {u, v} with weight w (w <= 0 means 1).
 func (b *Builder) AddEdge(u, v int32, w float64) {
@@ -64,17 +69,25 @@ func (b *Builder) EdgeCount() int { return len(b.edges) }
 // Build assembles the CSR graph using p workers. The builder can be reused
 // afterwards (its recorded edges are untouched).
 func (b *Builder) Build(p int) *Graph {
-	return FromEdges(b.n, b.edges, p)
+	return FromEdgesLayout(b.n, b.edges, p, b.layout)
 }
 
-// FromEdges builds a Graph with n vertices from an undirected edge list,
-// merging duplicates, using p workers. The input slice is not modified.
+// FromEdges builds a split-layout Graph with n vertices from an undirected
+// edge list, merging duplicates, using p workers. The input slice is not
+// modified.
 //
 // The construction is the standard two-pass CSR build: count row lengths,
 // exclusive prefix sum, scatter, then a per-row sort + in-place merge of
 // duplicate neighbors. Counting and scattering use atomics; the per-row
 // normalization is embarrassingly parallel.
 func FromEdges(n int, edges []Edge, p int) *Graph {
+	return FromEdgesLayout(n, edges, p, LayoutSplit)
+}
+
+// FromEdgesLayout is FromEdges producing the given arc layout at
+// construction time (LayoutInterleaved additionally packs the arcs into the
+// interleaved stream the sweep kernels consume).
+func FromEdgesLayout(n int, edges []Edge, p int, layout Layout) *Graph {
 	counts := make([]int64, n+1)
 	par.ForChunk(len(edges), p, 0, func(lo, hi int) {
 		for t := lo; t < hi; t++ {
@@ -106,7 +119,7 @@ func FromEdges(n int, edges []Edge, p int) *Graph {
 			}
 		}
 	})
-	g := &Graph{offsets: offsets, adj: adj, weights: weights}
+	g := &Graph{offsets: offsets, adj: adj, weights: weights, layout: layout}
 	g.normalizeRows(p)
 	g.finish(p)
 	return g
@@ -182,6 +195,9 @@ func (g *Graph) finish(p int) {
 		return g.offsets[i+1] - g.offsets[i]
 	}))
 	g.totalW = par.SumFloat64Ctx(g, n, p, func(g *Graph, i int) float64 { return g.degree[i] })
+	if g.layout == LayoutInterleaved {
+		g.buildArcs(p)
+	}
 }
 
 // FromCSR constructs a Graph directly from CSR arrays that are already
@@ -196,8 +212,10 @@ func FromCSR(offsets []int64, adj []int32, weights []float64, p int, check bool)
 // degree array are reused (grown only when the vertex count exceeds the
 // previous capacity), so a pooled caller — core.Engine's per-level coarse
 // graph slots — rebuilds a same-shaped graph without allocating. dst may be
-// nil, in which case a fresh Graph is built. Any prior contents of dst are
-// invalidated; callers must not retain views of the previous graph.
+// nil, in which case a fresh Graph is built. dst's arc layout is preserved
+// (an interleaved dst re-packs its arc stream in place; a nil dst is split —
+// use SetLayout to convert). Any prior contents of dst are invalidated;
+// callers must not retain views of the previous graph.
 func FromCSRInto(dst *Graph, offsets []int64, adj []int32, weights []float64, p int, check bool) (*Graph, error) {
 	if dst == nil {
 		dst = &Graph{}

@@ -105,5 +105,8 @@ func GhostSubgraph(g *Graph, vertices []int32, p int) (*Graph, []int32, []int32,
 	if err != nil {
 		return nil, nil, nil, err // unreachable: check=false never errors
 	}
+	// Shards inherit the parent's arc layout so per-shard sweeps run the same
+	// kernels the shared-memory engine would on g.
+	sub.SetLayout(g.Layout(), p)
 	return sub, ghosts, remap, nil
 }

@@ -23,6 +23,8 @@ type Graph struct {
 	offsets []int64   // len n+1; row i is adj[offsets[i]:offsets[i+1]]
 	adj     []int32   // neighbor ids
 	weights []float64 // parallel to adj
+	arcs    []Arc     // interleaved (id, weight) stream; nil under LayoutSplit
+	layout  Layout    // arc storage layout (see SetLayout)
 	degree  []float64 // weighted degree k_i (row sums, self-loop once)
 	totalW  float64   // 2m' = Σ k_i; m = totalW / 2
 	loops   int64     // number of self-loop arcs, cached at build time
@@ -160,6 +162,24 @@ func (g *Graph) Validate() error {
 	}
 	if math.Abs(sum-g.totalW) > 1e-6*(1+math.Abs(g.totalW)) {
 		return fmt.Errorf("graph: cached total weight %v != recomputed %v", g.totalW, sum)
+	}
+	switch g.layout {
+	case LayoutSplit:
+		if g.arcs != nil {
+			return fmt.Errorf("graph: split layout carries an interleaved arc array")
+		}
+	case LayoutInterleaved:
+		if len(g.arcs) != len(g.adj) {
+			return fmt.Errorf("graph: interleaved arc array length %d != adjacency length %d", len(g.arcs), len(g.adj))
+		}
+		for t := range g.arcs {
+			if g.arcs[t].Nbr != g.adj[t] || g.arcs[t].W != g.weights[t] {
+				return fmt.Errorf("graph: interleaved arc %d (%d, %v) diverges from split CSR (%d, %v)",
+					t, g.arcs[t].Nbr, g.arcs[t].W, g.adj[t], g.weights[t])
+			}
+		}
+	default:
+		return fmt.Errorf("graph: unknown layout %d", g.layout)
 	}
 	return nil
 }

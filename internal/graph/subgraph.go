@@ -26,6 +26,7 @@ func InducedSubgraph(g *Graph, vertices []int32, p int) (*Graph, []int32, error)
 		remap[v] = int32(t)
 	}
 	b := NewBuilder(len(vertices))
+	b.SetLayout(g.Layout()) // extracted subgraphs inherit the parent's layout
 	for _, v := range vertices {
 		nbr, wts := g.Neighbors(int(v))
 		for t, j := range nbr {

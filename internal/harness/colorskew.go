@@ -20,6 +20,9 @@ import (
 type ColorSkewRow struct {
 	Input  generate.Input
 	Colors int
+	// Layout echoes the arc layout the study ran under (Options.Layout), so
+	// layout-split CSV outputs stay self-describing when compared.
+	Layout string
 	// Base is the unbalanced speculative coloring; Vertex and Arc are the
 	// same coloring after the respective rebalancing mode.
 	Base, Vertex, Arc coloring.Stats
@@ -51,6 +54,7 @@ func ColorSkew(o Options, inputs []generate.Input) ([]ColorSkewRow, error) {
 		row := ColorSkewRow{
 			Input:  in,
 			Colors: base.NumColors,
+			Layout: o.Layout.String(),
 			Base:   base.ComputeStatsOn(g),
 			Vertex: vert.ComputeStatsOn(g),
 			Arc:    arc.ComputeStatsOn(g),
@@ -68,13 +72,13 @@ func ColorSkew(o Options, inputs []generate.Input) ([]ColorSkewRow, error) {
 // WriteColorSkew renders the color-skew study as text.
 func WriteColorSkew(w io.Writer, rows []ColorSkewRow) {
 	fmt.Fprintf(w, "Color-set skew (§6.2): base vs vertex-balanced vs arc-balanced\n")
-	fmt.Fprintf(w, "%-12s %7s | %8s %8s | %8s %8s | %8s %8s | %4s\n",
-		"input", "colors", "rsd", "arcrsd", "rsd", "arcrsd", "rsd", "arcrsd", "auto")
-	fmt.Fprintf(w, "%-12s %7s | %17s | %17s | %17s |\n",
-		"", "", "base", "vertex-balanced", "arc-balanced")
+	fmt.Fprintf(w, "%-12s %7s %-11s | %8s %8s | %8s %8s | %8s %8s | %4s\n",
+		"input", "colors", "layout", "rsd", "arcrsd", "rsd", "arcrsd", "rsd", "arcrsd", "auto")
+	fmt.Fprintf(w, "%-12s %7s %-11s | %17s | %17s | %17s |\n",
+		"", "", "", "base", "vertex-balanced", "arc-balanced")
 	for _, r := range rows {
-		fmt.Fprintf(w, "%-12s %7d | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f | %4s\n",
-			r.Input, r.Colors,
+		fmt.Fprintf(w, "%-12s %7d %-11s | %8.3f %8.3f | %8.3f %8.3f | %8.3f %8.3f | %4s\n",
+			r.Input, r.Colors, r.Layout,
 			r.Base.RSD, r.Base.ArcRSD,
 			r.Vertex.RSD, r.Vertex.ArcRSD,
 			r.Arc.RSD, r.Arc.ArcRSD, r.AutoPicked)
@@ -85,7 +89,7 @@ func WriteColorSkew(w io.Writer, rows []ColorSkewRow) {
 func WriteColorSkewCSV(w io.Writer, rows []ColorSkewRow) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write([]string{
-		"input", "colors",
+		"input", "colors", "layout",
 		"base_rsd", "base_arc_rsd",
 		"vertex_rsd", "vertex_arc_rsd",
 		"arc_rsd", "arc_arc_rsd",
@@ -95,7 +99,7 @@ func WriteColorSkewCSV(w io.Writer, rows []ColorSkewRow) error {
 	}
 	for _, r := range rows {
 		if err := cw.Write([]string{
-			string(r.Input), strconv.Itoa(r.Colors),
+			string(r.Input), strconv.Itoa(r.Colors), r.Layout,
 			fmtF(r.Base.RSD), fmtF(r.Base.ArcRSD),
 			fmtF(r.Vertex.RSD), fmtF(r.Vertex.ArcRSD),
 			fmtF(r.Arc.RSD), fmtF(r.Arc.ArcRSD),

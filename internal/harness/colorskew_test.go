@@ -44,7 +44,7 @@ func TestColorSkewStudy(t *testing.T) {
 		t.Fatal(err)
 	}
 	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
-	if len(lines) != 3 || !strings.HasPrefix(lines[0], "input,colors,base_rsd") {
+	if len(lines) != 3 || !strings.HasPrefix(lines[0], "input,colors,layout,base_rsd") {
 		t.Fatalf("csv output: %q", buf.String())
 	}
 }

@@ -77,6 +77,11 @@ type Options struct {
 	// MaxPhases/MaxIterations bound runaway experiments (0 = unlimited).
 	MaxPhases     int
 	MaxIterations int
+	// Layout selects the arc layout the studies run under: the generated
+	// input is converted to it and the engines build their coarse graphs in
+	// it. Results are bit-identical across layouts (it is a pure memory
+	// rearrangement), so layout-split study outputs differ only in runtime.
+	Layout core.ArcLayout
 }
 
 // coreOptions translates harness options into core options for a scheme.
@@ -102,6 +107,7 @@ func (o Options) coreOptions(s Scheme) core.Options {
 	}
 	c.MaxPhases = o.MaxPhases
 	c.MaxIterations = o.MaxIterations
+	c.ArcLayout = o.Layout
 	return c
 }
 
@@ -118,9 +124,16 @@ func (o Options) Defaults() Options {
 }
 
 // Input generates (and caches per call) the named input at the configured
-// scale.
+// scale, converted to the configured arc layout.
 func (o Options) Input(in generate.Input) (*graph.Graph, error) {
-	return generate.Generate(in, o.Scale, o.Seed, o.Workers)
+	g, err := generate.Generate(in, o.Scale, o.Seed, o.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if o.Layout == core.ArcLayoutInterleaved {
+		g.SetLayout(graph.LayoutInterleaved, o.Workers)
+	}
+	return g, nil
 }
 
 // RunScheme executes one scheme on g and returns its stats.

@@ -3,10 +3,11 @@ package par
 import "slices"
 
 // SparseAccum is a reusable, allocation-free sparse accumulator over int32
-// keys drawn from a bounded universe [0, universe): a flat []float64 value
-// array indexed directly by key, a dense []int32 list of the keys touched
-// since the last Reset (in first-touch order), and a []int32 generation
-// stamp per slot marking which "epoch" last wrote it.
+// keys drawn from a bounded universe [0, universe): a flat slot array
+// indexed directly by key, each slot packing the accumulated value together
+// with a generation stamp marking which "epoch" last wrote it, plus a dense
+// []int32 list of the keys touched since the last Reset (in first-touch
+// order).
 //
 // It replaces the per-vertex neighbor-community hash map the paper
 // identifies as the dominant cost of the local-move phase (§5.5): Add is a
@@ -17,13 +18,27 @@ import "slices"
 // maxKeys. This is the standard flat-accumulator trick of later parallel
 // Louvain codes (Vite, NetworKit's PLM).
 //
+// The stamp and value are deliberately INTERLEAVED in one 16-byte slot
+// rather than held in parallel arrays: every Add reads the stamp and then
+// touches the value, and with split arrays that is two scattered cache
+// lines per arc of the sweep hot loop. One packed slot makes it one line
+// (and one bounds check), which measurably speeds up the decide kernels —
+// the same locality argument as the graph's interleaved arc layout.
+//
 // A SparseAccum is not safe for concurrent use; give each worker its own
 // (see ForChunkWorker's worker index).
 type SparseAccum struct {
-	vals []float64 // vals[k] is meaningful iff mark[k] == gen
-	mark []int32   // generation stamp per key slot
-	keys []int32   // keys touched since Reset, first-touch order
-	gen  int32     // current epoch; starts at 1 so zeroed marks are stale
+	slots []accumSlot // slots[k].val is meaningful iff slots[k].mark == gen
+	keys  []int32     // keys touched since Reset, first-touch order
+	gen   int32       // current epoch; starts at 1 so zeroed stamps are stale
+}
+
+// accumSlot packs one key's accumulated value with its generation stamp so
+// the stamp check and the value update share a cache line. 16 bytes after
+// alignment padding.
+type accumSlot struct {
+	mark int32
+	val  float64
 }
 
 // NewSparseAccum returns an accumulator for keys in [0, universe) able to
@@ -37,15 +52,14 @@ func NewSparseAccum(universe, maxKeys int) *SparseAccum {
 		maxKeys = universe
 	}
 	return &SparseAccum{
-		vals: make([]float64, universe),
-		mark: make([]int32, universe),
-		keys: make([]int32, 0, maxKeys),
-		gen:  1,
+		slots: make([]accumSlot, universe),
+		keys:  make([]int32, 0, maxKeys),
+		gen:   1,
 	}
 }
 
 // Universe returns the current key-space size.
-func (a *SparseAccum) Universe() int { return len(a.vals) }
+func (a *SparseAccum) Universe() int { return len(a.slots) }
 
 // Grow extends the key space to at least universe keys in place. Keys touched
 // in the current epoch keep their values; new slots start stale (their zero
@@ -53,14 +67,12 @@ func (a *SparseAccum) Universe() int { return len(a.vals) }
 // a growing universe — e.g. an Engine reused on a larger graph — without
 // discarding the amortized key-list capacity already built up.
 func (a *SparseAccum) Grow(universe int) {
-	if universe <= len(a.vals) {
+	if universe <= len(a.slots) {
 		return
 	}
-	vals := make([]float64, universe)
-	copy(vals, a.vals)
-	mark := make([]int32, universe)
-	copy(mark, a.mark)
-	a.vals, a.mark = vals, mark
+	slots := make([]accumSlot, universe)
+	copy(slots, a.slots)
+	a.slots = slots
 }
 
 // Reset forgets all touched keys in O(1): it bumps the generation so every
@@ -69,8 +81,8 @@ func (a *SparseAccum) Grow(universe int) {
 func (a *SparseAccum) Reset() {
 	a.keys = a.keys[:0]
 	if a.gen == 1<<31-1 { // int32 exhaustion after ~2^31 Resets: re-zero stamps
-		for i := range a.mark {
-			a.mark[i] = 0
+		for i := range a.slots {
+			a.slots[i].mark = 0
 		}
 		a.gen = 0
 	}
@@ -81,30 +93,41 @@ func (a *SparseAccum) Reset() {
 // Used to pin a vertex's own community at keys[0] even when no neighbor
 // shares it (e_{i→C(i)\{i}} may legitimately be 0).
 func (a *SparseAccum) Ensure(k int32) {
-	if a.mark[k] != a.gen {
-		a.mark[k] = a.gen
-		a.vals[k] = 0
+	s := &a.slots[k]
+	if s.mark != a.gen {
+		s.mark = a.gen
+		s.val = 0
 		a.keys = append(a.keys, k)
 	}
 }
 
 // Add accumulates w onto key k, registering k on first touch.
 func (a *SparseAccum) Add(k int32, w float64) {
-	if a.mark[k] == a.gen {
-		a.vals[k] += w
+	s := &a.slots[k]
+	if s.mark == a.gen {
+		s.val += w
 		return
 	}
-	a.mark[k] = a.gen
-	a.vals[k] = w
+	s.mark = a.gen
+	s.val = w
 	a.keys = append(a.keys, k)
 }
 
+// Val returns the accumulated value for a key KNOWN to be touched this
+// epoch — one returned by Keys(), or one passed to Ensure/Add since the
+// last Reset. It skips the staleness check Get pays, which matters in the
+// decide selection loop where every candidate community is by construction
+// a touched key. Reading an untouched key returns garbage from an earlier
+// epoch; use Get when in doubt.
+func (a *SparseAccum) Val(k int32) float64 { return a.slots[k].val }
+
 // Get returns the accumulated value for k, or 0 if k is untouched.
 func (a *SparseAccum) Get(k int32) float64 {
-	if a.mark[k] != a.gen {
+	s := &a.slots[k]
+	if s.mark != a.gen {
 		return 0
 	}
-	return a.vals[k]
+	return s.val
 }
 
 // Len returns the number of distinct keys touched since Reset.

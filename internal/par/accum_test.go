@@ -44,7 +44,7 @@ func TestSparseAccumGenerationWraparound(t *testing.T) {
 	a := NewSparseAccum(3, 0)
 	a.Add(1, 4)
 	a.gen = 1<<31 - 1 // force the wraparound path on the next Reset
-	a.mark[1] = a.gen
+	a.slots[1].mark = a.gen
 	a.Reset()
 	if a.gen != 1 {
 		t.Fatalf("gen after wraparound = %d, want 1", a.gen)

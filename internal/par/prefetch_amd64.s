@@ -1,0 +1,56 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func Prefetch32(p *int32)
+TEXT ·Prefetch32(SB), NOSPLIT, $0-8
+	MOVQ p+0(FP), AX
+	PREFETCHT0 (AX)
+	RET
+
+// func PrefetchComm8(comm *int32, ids *int32)
+// Eight gather-style prefetches: comm[ids[k]] for k in 0..7, ids contiguous.
+TEXT ·PrefetchComm8(SB), NOSPLIT, $0-16
+	MOVQ comm+0(FP), AX
+	MOVQ ids+8(FP), BX
+	MOVLQSX 0(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 4(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 8(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 12(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 16(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 20(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 24(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 28(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	RET
+
+// func PrefetchComm8S16(comm *int32, ids *int32)
+// As PrefetchComm8 but ids live at a 16-byte stride (the Nbr field of
+// consecutive interleaved arcs).
+TEXT ·PrefetchComm8S16(SB), NOSPLIT, $0-16
+	MOVQ comm+0(FP), AX
+	MOVQ ids+8(FP), BX
+	MOVLQSX 0(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 16(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 32(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 48(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 64(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 80(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 96(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	MOVLQSX 112(BX), CX
+	PREFETCHT0 (AX)(CX*4)
+	RET

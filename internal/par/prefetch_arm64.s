@@ -1,0 +1,72 @@
+//go:build !noasm
+
+#include "textflag.h"
+
+// func Prefetch32(p *int32)
+TEXT ·Prefetch32(SB), NOSPLIT, $0-8
+	MOVD p+0(FP), R0
+	PRFM (R0), PLDL1KEEP
+	RET
+
+// func PrefetchComm8(comm *int32, ids *int32)
+// Eight gather-style prefetches: comm[ids[k]] for k in 0..7, ids contiguous.
+TEXT ·PrefetchComm8(SB), NOSPLIT, $0-16
+	MOVD comm+0(FP), R0
+	MOVD ids+8(FP), R1
+	MOVW 0(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 4(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 8(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 12(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 16(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 20(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 24(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 28(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	RET
+
+// func PrefetchComm8S16(comm *int32, ids *int32)
+// As PrefetchComm8 but ids live at a 16-byte stride (the Nbr field of
+// consecutive interleaved arcs).
+TEXT ·PrefetchComm8S16(SB), NOSPLIT, $0-16
+	MOVD comm+0(FP), R0
+	MOVD ids+8(FP), R1
+	MOVW 0(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 16(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 32(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 48(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 64(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 80(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 96(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	MOVW 112(R1), R2
+	ADD  R2<<2, R0, R3
+	PRFM (R3), PLDL1KEEP
+	RET

@@ -1,0 +1,29 @@
+//go:build (amd64 || arm64) && !noasm
+
+package par
+
+// Prefetch32 hints the CPU to pull the cache line holding *p into L1
+// (PREFETCHT0 on amd64, PRFM PLDL1KEEP on arm64). It is advisory: no fault
+// is taken and no ordering is implied, so the pointer only needs to be a
+// valid address. Build with the noasm tag (or on other architectures) to
+// get a portable no-op instead.
+//
+//go:noescape
+func Prefetch32(p *int32)
+
+// PrefetchComm8 issues prefetch hints for comm[ids[0]] … comm[ids[7]]: the
+// eight scattered membership reads an upcoming CSR row segment will perform.
+// Assembly cannot be inlined, so the sweep kernels batch eight hints per
+// call to keep the call overhead off the per-arc hot path; ids must point at
+// (at least) eight contiguous int32 indices, each a valid index into comm.
+//
+//go:noescape
+func PrefetchComm8(comm *int32, ids *int32)
+
+// PrefetchComm8S16 is PrefetchComm8 for indices laid out at a 16-byte
+// stride: ids points at the Nbr field of the first of eight consecutive
+// interleaved arcs (16 bytes each), as produced by the interleaved CSR
+// layout.
+//
+//go:noescape
+func PrefetchComm8S16(comm *int32, ids *int32)

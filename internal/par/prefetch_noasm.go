@@ -1,0 +1,14 @@
+//go:build noasm || !(amd64 || arm64)
+
+package par
+
+// Prefetch32 is the portable fallback: a no-op the compiler inlines away.
+// See prefetch_asm.go for the real hint.
+func Prefetch32(p *int32) {}
+
+// PrefetchComm8 is the portable fallback: a no-op the compiler inlines away.
+func PrefetchComm8(comm *int32, ids *int32) {}
+
+// PrefetchComm8S16 is the portable fallback: a no-op the compiler inlines
+// away.
+func PrefetchComm8S16(comm *int32, ids *int32) {}

@@ -288,3 +288,32 @@ func TestSortSearchHelpers(t *testing.T) {
 		}
 	}
 }
+
+func TestShardedLayoutEquivalence(t *testing.T) {
+	// The arc layout is a pure rearrangement, so the whole sharded pipeline —
+	// ghost extraction, seeded sweeps, exchange rounds, master merge — must
+	// produce bit-identical output whether the input and the engines' coarse
+	// graphs are split or interleaved.
+	opts := Options{Shards: 4, Rounds: 2, Mode: ModeArcs}
+	run := func(l core.ArcLayout) *Result {
+		g := generate.MustGenerate(generate.CNR, generate.Small, 3, 2)
+		if l == core.ArcLayoutInterleaved {
+			g.SetLayout(graph.LayoutInterleaved, 2)
+		}
+		res, err := Run(context.Background(), g, opts, Fresh{Opts: core.Options{Workers: 2, ArcLayout: l}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(core.ArcLayoutSplit), run(core.ArcLayoutInterleaved)
+	if a.Modularity != b.Modularity || a.NumCommunities != b.NumCommunities {
+		t.Fatalf("layouts diverge: split nc=%d Q=%v vs interleaved nc=%d Q=%v",
+			a.NumCommunities, a.Modularity, b.NumCommunities, b.Modularity)
+	}
+	for v := range a.Membership {
+		if a.Membership[v] != b.Membership[v] {
+			t.Fatalf("membership diverges at vertex %d", v)
+		}
+	}
+}

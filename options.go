@@ -270,6 +270,41 @@ func Async() Option {
 	}
 }
 
+// LayoutKind selects the CSR arc storage layout the sweep kernels consume
+// on the coarse graphs the detector builds between phases. Purely a
+// memory-layout choice: results are bit-identical under every value.
+type LayoutKind int
+
+const (
+	// LayoutAuto (the default) inherits the input graph's layout.
+	LayoutAuto LayoutKind = iota
+	// LayoutSplit forces the classic two-stream CSR (ids and weights in
+	// separate arrays; lowest memory).
+	LayoutSplit
+	// LayoutInterleaved forces the packed one-stream CSR (16-byte
+	// (id, weight) arcs; fastest sweeps at +16 bytes per arc).
+	LayoutInterleaved
+)
+
+// ArcLayout selects the arc storage layout for the coarse graphs built
+// between phases. The caller's input graph is never converted in place —
+// pick its layout at construction (FromEdgesLayout).
+func ArcLayout(k LayoutKind) Option {
+	return func(c *config) error {
+		switch k {
+		case LayoutAuto:
+			c.opts.ArcLayout = core.ArcLayoutAuto
+		case LayoutSplit:
+			c.opts.ArcLayout = core.ArcLayoutSplit
+		case LayoutInterleaved:
+			c.opts.ArcLayout = core.ArcLayoutInterleaved
+		default:
+			return fmt.Errorf("grappolo: unknown LayoutKind %d", k)
+		}
+		return nil
+	}
+}
+
 // buildOptions applies opts in order and validates the resulting
 // configuration, returning the internal options both raw (for engines,
 // which apply the paper defaults themselves) and an error carrying the

@@ -3,17 +3,13 @@ package grappolo_test
 import (
 	"context"
 	"errors"
-	"go/parser"
-	"go/token"
-	"os"
 	"path/filepath"
 	"slices"
-	"strconv"
-	"strings"
 	"testing"
 	"time"
 
 	"grappolo"
+	"grappolo/internal/analysis"
 	"grappolo/internal/core"
 	"grappolo/internal/generate"
 )
@@ -210,33 +206,23 @@ func TestDetectHonorsCancellation(t *testing.T) {
 	sameResult(t, "post-cancel", res, want)
 }
 
-// TestExamplesUseOnlyPublicAPI enforces the migration satellite: no file
-// under examples/ may import any grappolo/internal/... package.
+// TestExamplesUseOnlyPublicAPI enforces the API-boundary invariant: no file
+// under examples/ or cmd/grappolo may import any grappolo/internal/...
+// package. The logic lives in the internalimport analyzer (also run by CI
+// via cmd/grappolovet); this is a thin wrapper so a boundary break still
+// fails plain `go test ./...`.
 func TestExamplesUseOnlyPublicAPI(t *testing.T) {
-	fset := token.NewFileSet()
-	err := filepath.WalkDir("examples", func(path string, d os.DirEntry, err error) error {
-		if err != nil {
-			return err
-		}
-		if d.IsDir() || !strings.HasSuffix(path, ".go") {
-			return nil
-		}
-		f, err := parser.ParseFile(fset, path, nil, parser.ImportsOnly)
-		if err != nil {
-			return err
-		}
-		for _, imp := range f.Imports {
-			p, err := strconv.Unquote(imp.Path.Value)
-			if err != nil {
-				return err
-			}
-			if p == "grappolo/internal" || strings.HasPrefix(p, "grappolo/internal/") {
-				t.Errorf("%s imports internal package %s; examples must use the public API", path, p)
-			}
-		}
-		return nil
-	})
+	root, err := filepath.Abs(".")
 	if err != nil {
 		t.Fatal(err)
+	}
+	cfg := analysis.Config{Root: root, Module: "grappolo"}
+	findings, err := analysis.Run(cfg, []*analysis.Analyzer{analysis.InternalImport},
+		[]string{"./examples/...", "./cmd/..."})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range findings {
+		t.Errorf("%s", f)
 	}
 }

@@ -33,7 +33,6 @@ import (
 
 	"grappolo"
 	"grappolo/generate"
-	"grappolo/internal/seq"
 	"grappolo/quality"
 )
 
@@ -122,11 +121,14 @@ func run(args []string) error {
 	var membership []int32
 	start := time.Now()
 	if *serial {
-		res := seq.Run(g, seq.Options{Threshold: *threshold})
+		res, err := grappolo.DetectSerial(g, *threshold)
+		if err != nil {
+			return err
+		}
 		membership = res.Membership
 		fmt.Printf("serial louvain: n=%d communities=%d Q=%.6f iterations=%d phases=%d time=%s\n",
-			g.N(), res.NumCommunities, res.Modularity, res.TotalIterations,
-			len(res.Phases), time.Since(start).Round(time.Millisecond))
+			g.N(), res.NumCommunities, res.Modularity, res.Iterations,
+			res.Phases, time.Since(start).Round(time.Millisecond))
 	} else {
 		opts, err := variantOptions(*variant, *workers)
 		if err != nil {
@@ -227,7 +229,10 @@ func run(args []string) error {
 	}
 
 	if *compare && !*serial {
-		sres := seq.Run(g, seq.Options{})
+		sres, err := grappolo.DetectSerial(g, 0)
+		if err != nil {
+			return err
+		}
 		pc, err := quality.ComparePartitions(sres.Membership, membership)
 		if err != nil {
 			return err

@@ -298,6 +298,35 @@
 // (harness.ColorSkew / benchtables -colorskew tabulate them, along with the
 // mode auto would pick).
 //
+// # Static analysis
+//
+// The conventions above are contracts, not habits, and the repo mechanizes
+// them: internal/analysis is a small go/analysis-shaped suite of five
+// repo-specific analyzers, driven by the cmd/grappolovet multichecker and
+// run as a blocking CI step under every build-tag set CI compiles
+// (default, faultinject, noasm). The analyzers: capturebody rejects
+// capturing func literals (and bound method values) passed as bodies to
+// the par.*Ctx helpers — the zero-alloc contract says those bodies must be
+// package-level captureless functions; internalimport enforces the API
+// boundary (examples/ and cmd/grappolo never import grappolo/internal/...);
+// asmpair proves every assembly-declared function has a
+// signature-identical Go fallback under complementary build constraints,
+// so no tag combination yields a missing or duplicate symbol; typederr
+// rejects ==/!= comparisons against error sentinels (use errors.Is) and
+// fmt.Errorf calls that stringify an error with %v instead of wrapping
+// with %w; hotalloc checks functions annotated with a //grappolo:hotpath
+// directive for per-call allocation sources — map literals and inserts,
+// appends not rooted in a parameter or receiver, fmt calls, interface
+// boxing, and closure creation. Annotate a function hot only when a
+// steady-state allocation test covers the path; the directive is a
+// machine-checked claim, not documentation. Run the suite with
+//
+//	go run ./cmd/grappolovet ./...
+//
+// (flags: -tags, -run to select analyzers, -list). Each analyzer carries
+// fixture tests under internal/analysis/testdata that fail if its checks
+// are weakened.
+//
 // Executables: cmd/grappolo (CLI), cmd/graphgen (input generator),
 // cmd/benchtables (regenerates every table and figure of the paper).
 // Runnable examples are under examples/. The benchmarks in bench_test.go

@@ -2,6 +2,7 @@ package grappolo
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sync/atomic"
 	"time"
@@ -328,7 +329,7 @@ func (gd *Guard) DetectInto(ctx context.Context, g *Graph, res *Result) (*Result
 		}
 		if err != nil {
 			switch {
-			case err == par.ErrQueueFull:
+			case errors.Is(err, par.ErrQueueFull):
 				// Lost the depth race to concurrent arrivals — the bound
 				// is enforced atomically at the queue, the check above is
 				// only the fast path.

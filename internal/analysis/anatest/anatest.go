@@ -1,0 +1,170 @@
+// Package anatest runs an analyzer over fixture packages and checks its
+// diagnostics against // want comments, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest on the repository's own
+// framework. A fixture tree lives under testdata/src using GOPATH-style
+// layout: the package with import path "p/q" is the directory
+// testdata/src/p/q, and fixture imports resolve within testdata/src first
+// (so a fixture can import a stub copy of grappolo/internal/par), then the
+// standard library.
+//
+// Expectations are written on the line the diagnostic must land on:
+//
+//	x := par.ForChunkCtx(...) // want `captures`
+//
+// Each quoted string (Go string or backquote literal) is a regular
+// expression; one diagnostic must match each expectation on that line, and
+// every diagnostic must be expected. Analyzer neutering therefore fails the
+// test in both directions: missing findings leave unmatched wants, stray
+// findings have no want to match.
+package anatest
+
+import (
+	"fmt"
+	"go/scanner"
+	"go/token"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"grappolo/internal/analysis"
+)
+
+// want is one expectation: a position (file base name + line) and a regexp.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	raw  string
+	hit  bool
+}
+
+// Run loads each fixture package below dir/src, applies the analyzer, and
+// reports mismatches between diagnostics and // want comments through t.
+func Run(t *testing.T, dir string, a *analysis.Analyzer, pkgPaths ...string) {
+	t.Helper()
+	cfg := analysis.Config{Root: filepath.Join(dir, "src")}
+	loader := analysis.NewLoader(cfg)
+	for _, path := range pkgPaths {
+		pkg, err := loader.Load(path)
+		if err != nil {
+			t.Fatalf("loading fixture %s: %v", path, err)
+		}
+		findings, err := analysis.RunPackage(loader.Fset, pkg, []*analysis.Analyzer{a})
+		if err != nil {
+			t.Fatalf("running %s on %s: %v", a.Name, path, err)
+		}
+		wants, err := collectWants(loader, pkg)
+		if err != nil {
+			t.Fatalf("parsing want comments in %s: %v", path, err)
+		}
+		match(t, path, findings, wants)
+	}
+}
+
+// collectWants scans every fixture file (selected and tag-excluded alike)
+// for // want comments.
+func collectWants(l *analysis.Loader, pkg *analysis.Package) ([]*want, error) {
+	var wants []*want
+	for _, f := range pkg.Files {
+		ws, err := wantsInFile(l.Fset, f.Pos())
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, ws...)
+	}
+	for _, f := range pkg.Ignored {
+		ws, err := wantsInFile(l.Fset, f.Pos())
+		if err != nil {
+			return nil, err
+		}
+		wants = append(wants, ws...)
+	}
+	return wants, nil
+}
+
+// wantRe matches the expectation tail of a comment: one or more quoted
+// regexps after the word "want".
+var wantRe = regexp.MustCompile(`//\s*want\s+(.*)$`)
+
+// wantsInFile re-scans one file's source for // want comments. Scanning the
+// raw text (rather than the AST's comment lists) keeps expectations usable
+// on lines inside general declarations where comment attachment is fiddly.
+func wantsInFile(fset *token.FileSet, pos token.Pos) ([]*want, error) {
+	tf := fset.File(pos)
+	if tf == nil {
+		return nil, fmt.Errorf("no token.File for pos %v", pos)
+	}
+	src, err := os.ReadFile(tf.Name())
+	if err != nil {
+		return nil, err
+	}
+	var wants []*want
+	for i, line := range strings.Split(string(src), "\n") {
+		m := wantRe.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		rest := strings.TrimSpace(m[1])
+		for rest != "" {
+			lit, remain, err := cutStringLit(rest)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want expectation: %w", tf.Name(), i+1, err)
+			}
+			re, err := regexp.Compile(lit)
+			if err != nil {
+				return nil, fmt.Errorf("%s:%d: bad want regexp %q: %w", tf.Name(), i+1, lit, err)
+			}
+			wants = append(wants, &want{file: filepath.Base(tf.Name()), line: i + 1, re: re, raw: lit})
+			rest = strings.TrimSpace(remain)
+		}
+	}
+	return wants, nil
+}
+
+// cutStringLit splits one leading Go string literal (quoted or backquoted)
+// off s, returning its value and the remainder.
+func cutStringLit(s string) (string, string, error) {
+	var sc scanner.Scanner
+	fset := token.NewFileSet()
+	f := fset.AddFile("want", -1, len(s))
+	sc.Init(f, []byte(s), nil, 0)
+	_, tok, lit := sc.Scan()
+	if tok != token.STRING {
+		return "", "", fmt.Errorf("expected string literal, found %q", s)
+	}
+	val, err := strconv.Unquote(lit)
+	if err != nil {
+		return "", "", err
+	}
+	return val, s[len(lit):], nil
+}
+
+// match reconciles diagnostics against expectations.
+func match(t *testing.T, pkgPath string, findings []analysis.Finding, wants []*want) {
+	t.Helper()
+	for _, f := range findings {
+		base := filepath.Base(f.Position.Filename)
+		matched := false
+		for _, w := range wants {
+			if w.hit || w.file != base || w.line != f.Position.Line {
+				continue
+			}
+			if w.re.MatchString(f.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic at %s:%d: %s", pkgPath, base, f.Position.Line, f.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s: no diagnostic at %s:%d matching %q", pkgPath, w.file, w.line, w.raw)
+		}
+	}
+}

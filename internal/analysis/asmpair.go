@@ -1,0 +1,276 @@
+package analysis
+
+import (
+	"bytes"
+	"go/ast"
+	"go/build/constraint"
+	"go/printer"
+	"go/token"
+	"sort"
+	"strings"
+)
+
+// AsmPair mechanizes the portability contract behind the PR 8 prefetch
+// helpers: an assembly-implemented function is declared as a body-less Go
+// func in a build-tagged file (e.g. (amd64 || arm64) && !noasm), and a pure
+// Go fallback with the SAME signature must exist under the complementary
+// constraint, or some build configuration either fails to link or — worse —
+// compiles against a silently different signature. Because the fallback file
+// is by construction EXCLUDED from whatever build is being analyzed, this
+// analyzer reads the package's tag-excluded sibling files (Pass.IgnoredFiles)
+// and checks, for every assignment of the involved tags, that exactly one
+// declaration of each assembly-declared function is selected.
+var AsmPair = &Analyzer{
+	Name: "asmpair",
+	Doc: "assembly-declared funcs must keep signature-identical fallbacks under complementary build tags\n\n" +
+		"For every body-less (assembly-backed) func declaration, some sibling file that the\n" +
+		"complementary tag set selects must declare the same name with an identical\n" +
+		"signature, and no tag assignment may select zero or two declarations.",
+	Run: runAsmPair,
+}
+
+// asmDecl is one package-level func declaration plus the constraint of the
+// file it lives in.
+type asmDecl struct {
+	decl    *ast.FuncDecl
+	expr    constraint.Expr // nil = unconstrained file
+	hasBody bool
+}
+
+func runAsmPair(pass *Pass) error {
+	// Collect every package-level func decl across selected AND excluded
+	// files, grouped by name. Methods are out of scope: assembly bodies in
+	// this module (and almost everywhere) back package-level funcs.
+	byName := map[string][]asmDecl{}
+	collect := func(f *ast.File) {
+		expr := FileConstraint(f)
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil {
+				continue
+			}
+			byName[fd.Name.Name] = append(byName[fd.Name.Name], asmDecl{
+				decl: fd, expr: expr, hasBody: fd.Body != nil,
+			})
+		}
+	}
+	for _, f := range pass.Files {
+		collect(f)
+	}
+	for _, f := range pass.IgnoredFiles {
+		collect(f)
+	}
+
+	names := make([]string, 0, len(byName))
+	for name := range byName {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	for _, name := range names {
+		decls := byName[name]
+		asm := false
+		for _, d := range decls {
+			if !d.hasBody {
+				asm = true
+			}
+		}
+		if !asm {
+			continue
+		}
+		checkAsmGroup(pass, name, decls)
+	}
+	return nil
+}
+
+// checkAsmGroup validates one assembly-declared function name.
+func checkAsmGroup(pass *Pass, name string, decls []asmDecl) {
+	stub := decls[0]
+	for _, d := range decls {
+		if !d.hasBody {
+			stub = d
+			break
+		}
+	}
+
+	// 1. Signatures must be textually identical (modulo parameter names) —
+	// a drifted fallback compiles fine in its own build and explodes later.
+	want := signatureString(stub.decl)
+	for _, d := range decls {
+		if got := signatureString(d.decl); got != want {
+			pass.Reportf(d.decl.Pos(),
+				"signature of %s%s diverges from its assembly declaration %s (%s); tag-paired declarations must stay identical",
+				name, got, want, describeConstraint(stub.expr))
+		}
+	}
+
+	// 2. An assembly decl in an unconstrained file can have no complement.
+	if stub.expr == nil {
+		if len(decls) == 1 {
+			pass.Reportf(stub.decl.Pos(),
+				"assembly-declared func %s has no build constraint and no fallback declaration; builds without the assembly cannot link",
+				name)
+		}
+		return
+	}
+
+	// 3. Coverage: over every assignment of the tags any declaration
+	// mentions, exactly one declaration must be selected. Gaps are
+	// aggregated per failure mode (zero selected / several selected) with
+	// one example assignment each, so a missing fallback is one diagnostic,
+	// not one per uncovered tag combination.
+	tags := collectTags(decls)
+	var zero, multi []coverageGap
+	for _, b := range evalCoverage(decls, tags) {
+		if b.count == 0 {
+			zero = append(zero, b)
+		} else {
+			multi = append(multi, b)
+		}
+	}
+	if len(zero) > 0 {
+		pass.Reportf(stub.decl.Pos(),
+			"%s has no declaration selected under %d tag combination(s) (e.g. %s); the assembly declaration needs a signature-identical fallback under the complementary build constraint",
+			name, len(zero), zero[0].assignment)
+	}
+	if len(multi) > 0 {
+		pass.Reportf(stub.decl.Pos(),
+			"%s has %d declarations selected under %d tag combination(s) (e.g. %s); tag-paired declarations must be mutually exclusive",
+			name, multi[0].count, len(multi), multi[0].assignment)
+	}
+}
+
+// coverageGap describes one tag assignment with != 1 selected declaration.
+type coverageGap struct {
+	assignment string
+	count      int
+}
+
+// collectTags gathers the tag names mentioned by any declaration's
+// constraint, sorted.
+func collectTags(decls []asmDecl) []string {
+	seen := map[string]bool{}
+	var walk func(e constraint.Expr)
+	walk = func(e constraint.Expr) {
+		switch x := e.(type) {
+		case *constraint.TagExpr:
+			seen[x.Tag] = true
+		case *constraint.NotExpr:
+			walk(x.X)
+		case *constraint.AndExpr:
+			walk(x.X)
+			walk(x.Y)
+		case *constraint.OrExpr:
+			walk(x.X)
+			walk(x.Y)
+		}
+	}
+	for _, d := range decls {
+		if d.expr != nil {
+			walk(d.expr)
+		}
+	}
+	tags := make([]string, 0, len(seen))
+	for t := range seen {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// evalCoverage enumerates every assignment of the given tags (skipping
+// impossible ones where two architecture tags are simultaneously true) and
+// counts how many declarations each assignment selects. An unconstrained
+// declaration is selected by every assignment.
+func evalCoverage(decls []asmDecl, tags []string) []coverageGap {
+	var gaps []coverageGap
+	if len(tags) > 16 { // 2^16 assignments is already absurd; bail safely
+		return nil
+	}
+	for mask := 0; mask < 1<<len(tags); mask++ {
+		truth := map[string]bool{}
+		arches := 0
+		for i, t := range tags {
+			v := mask&(1<<i) != 0
+			truth[t] = v
+			if v && knownArch[t] {
+				arches++
+			}
+		}
+		if arches > 1 {
+			continue // one GOARCH at a time
+		}
+		count := 0
+		for _, d := range decls {
+			if d.expr == nil || d.expr.Eval(func(tag string) bool { return truth[tag] }) {
+				count++
+			}
+		}
+		if count != 1 {
+			var parts []string
+			for _, t := range tags {
+				if truth[t] {
+					parts = append(parts, t)
+				} else {
+					parts = append(parts, "!"+t)
+				}
+			}
+			gaps = append(gaps, coverageGap{assignment: strings.Join(parts, " "), count: count})
+		}
+	}
+	return gaps
+}
+
+// signatureString renders a func declaration's type with parameter names
+// stripped, so declarations differing only in naming compare equal.
+func signatureString(fd *ast.FuncDecl) string {
+	var b strings.Builder
+	b.WriteString("(")
+	writeFieldTypes(&b, fd.Type.Params)
+	b.WriteString(")")
+	if fd.Type.Results != nil && len(fd.Type.Results.List) > 0 {
+		b.WriteString(" (")
+		writeFieldTypes(&b, fd.Type.Results)
+		b.WriteString(")")
+	}
+	return b.String()
+}
+
+func writeFieldTypes(b *strings.Builder, fl *ast.FieldList) {
+	if fl == nil {
+		return
+	}
+	first := true
+	for _, f := range fl.List {
+		// A field like "a, b int" declares the type once for n names.
+		n := len(f.Names)
+		if n == 0 {
+			n = 1
+		}
+		for i := 0; i < n; i++ {
+			if !first {
+				b.WriteString(", ")
+			}
+			first = false
+			b.WriteString(exprString(f.Type))
+		}
+	}
+}
+
+// describeConstraint renders a build-constraint expression for diagnostics.
+func describeConstraint(e constraint.Expr) string {
+	if e == nil {
+		return "unconstrained"
+	}
+	return e.String()
+}
+
+// exprString renders an expression using go/printer; shared by several
+// analyzers' diagnostics.
+func exprString(e ast.Expr) string {
+	var buf bytes.Buffer
+	if err := printer.Fprint(&buf, token.NewFileSet(), e); err != nil {
+		return "<expr>"
+	}
+	return buf.String()
+}

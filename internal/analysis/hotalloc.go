@@ -1,0 +1,213 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// HotAlloc mechanizes the steady-state zero-allocation contract on the
+// sweep hot path. Functions carrying the //grappolo:hotpath directive (the
+// decide kernels, the sweep bodies, the accumulator methods) execute per
+// vertex or per arc, millions of times per phase; a single construct that
+// allocates or forces dynamic dispatch there undoes the flat-accumulator
+// and captureless-body work and shows up only as a throughput regression.
+// The allocation gates (TestDecideSteadyStateZeroAllocs and friends) catch
+// the end-to-end symptom on covered configurations; this analyzer names the
+// offending line on every configuration, at compile time.
+//
+// Inside a hotpath function the following are flagged:
+//   - map composite literals and map index assignments (hashing + growth)
+//   - calls into package fmt (interface boxing, reflection)
+//   - append to slices not rooted in a parameter or receiver (growth of
+//     function-local backing arrays escapes the pooled-scratch discipline)
+//   - conversions of concrete values to interface types, explicit or via
+//     argument passing (boxing allocates)
+//   - func literals (closure creation; even captureless literals become
+//     allocation hazards the moment someone adds a captured variable)
+//
+// The directive is a contract, not a hint: annotate a function only when it
+// must stay clean, and keep it clean rather than removing the annotation.
+var HotAlloc = &Analyzer{
+	Name: "hotalloc",
+	Doc: "functions marked //grappolo:hotpath must avoid allocating or boxing constructs\n\n" +
+		"Flags map literals/inserts, fmt calls, append to non-parameter slices,\n" +
+		"concrete-to-interface conversions, and closure creation inside functions\n" +
+		"annotated with the //grappolo:hotpath directive.",
+	Run: runHotAlloc,
+}
+
+// hotpathDirective is the annotation comment, written on its own line in
+// the doc comment of the function it constrains.
+const hotpathDirective = "//grappolo:hotpath"
+
+func runHotAlloc(pass *Pass) error {
+	for _, f := range pass.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !isHotpath(fd) {
+				continue
+			}
+			checkHotFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+// isHotpath reports whether the declaration carries the directive.
+func isHotpath(fd *ast.FuncDecl) bool {
+	if fd.Doc == nil {
+		return false
+	}
+	for _, c := range fd.Doc.List {
+		if strings.TrimSpace(c.Text) == hotpathDirective {
+			return true
+		}
+	}
+	return false
+}
+
+// checkHotFunc walks one hotpath function body.
+func checkHotFunc(pass *Pass, fd *ast.FuncDecl) {
+	name := fd.Name.Name
+	params := paramVars(pass, fd)
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.FuncLit:
+			pass.Reportf(x.Pos(), "%s is //grappolo:hotpath but creates a func literal; hoist it to a package-level function", name)
+			return false // the literal runs elsewhere; don't double-report its body
+		case *ast.CompositeLit:
+			if t := pass.TypesInfo.Types[x].Type; t != nil {
+				if _, isMap := t.Underlying().(*types.Map); isMap {
+					pass.Reportf(x.Pos(), "%s is //grappolo:hotpath but builds a map literal; use pooled flat scratch (par.SparseAccum / par.Marker)", name)
+				}
+			}
+		case *ast.AssignStmt:
+			for _, lhs := range x.Lhs {
+				ix, ok := ast.Unparen(lhs).(*ast.IndexExpr)
+				if !ok {
+					continue
+				}
+				if t := pass.TypesInfo.Types[ix.X].Type; t != nil {
+					if _, isMap := t.Underlying().(*types.Map); isMap {
+						pass.Reportf(lhs.Pos(), "%s is //grappolo:hotpath but inserts into a map; use pooled flat scratch (par.SparseAccum / par.Marker)", name)
+					}
+				}
+			}
+		case *ast.CallExpr:
+			checkHotCall(pass, name, params, x)
+		}
+		return true
+	})
+}
+
+// paramVars collects the parameter and receiver objects of fd; appends
+// rooted in these are amortized into caller-owned storage and allowed.
+func paramVars(pass *Pass, fd *ast.FuncDecl) map[*types.Var]bool {
+	vars := map[*types.Var]bool{}
+	add := func(fl *ast.FieldList) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			for _, id := range field.Names {
+				if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+					vars[v] = true
+				}
+			}
+		}
+	}
+	add(fd.Recv)
+	add(fd.Type.Params)
+	return vars
+}
+
+// checkHotCall flags fmt calls, non-parameter appends, and boxing argument
+// conversions.
+func checkHotCall(pass *Pass, name string, params map[*types.Var]bool, call *ast.CallExpr) {
+	// Explicit conversion T(x) with interface T and concrete x.
+	if tv, ok := pass.TypesInfo.Types[call.Fun]; ok && tv.IsType() {
+		if types.IsInterface(tv.Type) && len(call.Args) == 1 {
+			at := pass.TypesInfo.Types[call.Args[0]].Type
+			if at != nil && !types.IsInterface(at) && at != types.Typ[types.UntypedNil] {
+				pass.Reportf(call.Pos(), "%s is //grappolo:hotpath but converts %s to interface %s (boxing allocates)", name, at, tv.Type)
+			}
+			return
+		}
+	}
+
+	if fn := calleeFunc(pass, call); fn != nil {
+		if fn.Pkg() != nil && fn.Pkg().Path() == "fmt" {
+			pass.Reportf(call.Pos(), "%s is //grappolo:hotpath but calls fmt.%s (boxing + reflection); format off the hot path", name, fn.Name())
+			return
+		}
+		// Concrete argument passed to an interface parameter boxes too. The
+		// INSTANTIATED signature is read off the call's Fun expression so
+		// generic type parameters (which never box) are not mistaken for
+		// interfaces.
+		if sig, ok := pass.TypesInfo.Types[call.Fun].Type.(*types.Signature); ok {
+			checkBoxingArgs(pass, name, call, sig)
+		}
+	}
+
+	// append to a slice whose root is not a parameter/receiver.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "append" {
+		if b, ok := pass.TypesInfo.Uses[id].(*types.Builtin); ok && b.Name() == "append" && len(call.Args) > 0 {
+			if root := rootVar(pass, call.Args[0]); root == nil || !params[root] {
+				pass.Reportf(call.Pos(), "%s is //grappolo:hotpath but appends to a slice not rooted in a parameter or receiver; growth allocates outside the pooled-scratch discipline", name)
+			}
+		}
+	}
+}
+
+// checkBoxingArgs flags concrete arguments passed to interface-typed
+// parameters.
+func checkBoxingArgs(pass *Pass, name string, call *ast.CallExpr, sig *types.Signature) {
+	for i, arg := range call.Args {
+		var pt types.Type
+		switch {
+		case !sig.Variadic() && i < sig.Params().Len():
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic() && i < sig.Params().Len()-1:
+			pt = sig.Params().At(i).Type()
+		case sig.Variadic() && !call.Ellipsis.IsValid():
+			pt = sig.Params().At(sig.Params().Len() - 1).Type().(*types.Slice).Elem()
+		default:
+			continue // f(xs...) passes the slice through; no per-element boxing
+		}
+		if _, isTP := pt.(*types.TypeParam); isTP {
+			continue // generic type parameters never box
+		}
+		if !types.IsInterface(pt) {
+			continue
+		}
+		at := pass.TypesInfo.Types[arg].Type
+		if at == nil || types.IsInterface(at) {
+			continue
+		}
+		if b, ok := at.(*types.Basic); ok && b.Kind() == types.UntypedNil {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "%s is //grappolo:hotpath but passes concrete %s to interface parameter of %s (boxing allocates)", name, at, exprString(call.Fun))
+	}
+}
+
+// rootVar unwraps selector/index/star/paren chains to the base identifier's
+// object: the variable whose storage an append ultimately grows.
+func rootVar(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		case *ast.Ident:
+			v, _ := pass.TypesInfo.Uses[x].(*types.Var)
+			return v
+		default:
+			return nil
+		}
+	}
+}

@@ -1,0 +1,93 @@
+package analysis
+
+import (
+	"go/parser"
+	"go/token"
+	"testing"
+)
+
+func TestFileSelected(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		cfg  Config
+		want bool
+	}{
+		{"unconstrained", "package p\n", Config{GOOS: "linux", GOARCH: "amd64"}, true},
+		{"tag off", "//go:build faultinject\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, false},
+		{"tag on", "//go:build faultinject\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64", Tags: []string{"faultinject"}}, true},
+		{"negated tag", "//go:build !noasm\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64", Tags: []string{"noasm"}}, false},
+		{"arch expr", "//go:build (amd64 || arm64) && !noasm\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, true},
+		{"arch expr other arch", "//go:build (amd64 || arm64) && !noasm\n\npackage p\n", Config{GOOS: "linux", GOARCH: "riscv64"}, false},
+		{"fallback expr under noasm", "//go:build noasm || !(amd64 || arm64)\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64", Tags: []string{"noasm"}}, true},
+		{"os tag", "//go:build linux\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, true},
+		{"unix alias", "//go:build unix\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, true},
+		{"go version", "//go:build go1.21\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, true},
+		{"future go version", "//go:build go1.99\n\npackage p\n", Config{GOOS: "linux", GOARCH: "amd64"}, false},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			l := NewLoader(tc.cfg)
+			f, err := parser.ParseFile(token.NewFileSet(), "x.go", tc.src, parser.ParseComments|parser.SkipObjectResolution)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := l.fileSelected("x.go", f); got != tc.want {
+				t.Errorf("fileSelected = %v, want %v", got, tc.want)
+			}
+		})
+	}
+}
+
+func TestFilenameSelected(t *testing.T) {
+	l := NewLoader(Config{GOOS: "linux", GOARCH: "amd64"})
+	cases := map[string]bool{
+		"par.go":             true,
+		"prefetch_amd64.go":  true,
+		"prefetch_arm64.go":  false,
+		"x_linux.go":         true,
+		"x_windows.go":       false,
+		"x_linux_amd64.go":   true,
+		"x_windows_amd64.go": false,
+		"x_linux_arm64.go":   false,
+		"not_an_arch.go":     true,
+		"snake_case_name.go": true,
+	}
+	for name, want := range cases {
+		if got := l.filenameSelected(name); got != want {
+			t.Errorf("filenameSelected(%q) = %v, want %v", name, got, want)
+		}
+	}
+}
+
+func TestMatchPatterns(t *testing.T) {
+	cfg := Config{Module: "grappolo"}
+	all := []string{
+		"grappolo",
+		"grappolo/cmd/grappolovet",
+		"grappolo/internal/core",
+		"grappolo/internal/par",
+	}
+	cases := []struct {
+		patterns []string
+		want     int
+	}{
+		{nil, 4},
+		{[]string{"./..."}, 4},
+		{[]string{"./internal/..."}, 2},
+		{[]string{"./internal/par"}, 1},
+		{[]string{"./internal/par", "./cmd/grappolovet"}, 2},
+	}
+	for _, tc := range cases {
+		got, err := matchPatterns(cfg, all, tc.patterns)
+		if err != nil {
+			t.Fatalf("%v: %v", tc.patterns, err)
+		}
+		if len(got) != tc.want {
+			t.Errorf("matchPatterns(%v) = %v, want %d packages", tc.patterns, got, tc.want)
+		}
+	}
+	if _, err := matchPatterns(cfg, all, []string{"./nonexistent/..."}); err == nil {
+		t.Error("matchPatterns on a miss: want error, got nil")
+	}
+}

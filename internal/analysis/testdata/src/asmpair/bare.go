@@ -1,0 +1,9 @@
+package asmpair
+
+// Bare is an assembly declaration in an UNCONSTRAINED file with no other
+// declaration: there is no build configuration that gets a fallback.
+func Bare(p *int32) // want `no build constraint and no fallback`
+
+// Plain is an ordinary Go function; having a body, it is no asm group and
+// nothing here applies.
+func Plain(p *int32) {}

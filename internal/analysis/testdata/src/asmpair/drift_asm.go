@@ -1,0 +1,7 @@
+//go:build (amd64 || arm64) && !noasm
+
+package asmpair
+
+// Drifted has a fallback under the right constraint whose signature has
+// drifted; the diagnostic lands on the drifted declaration.
+func Drifted(p *int32, n int)

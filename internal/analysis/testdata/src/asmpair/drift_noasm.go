@@ -1,0 +1,5 @@
+//go:build noasm || !(amd64 || arm64)
+
+package asmpair
+
+func Drifted(p *int64, n int) {} // want `signature of Drifted\(\*int64, int\) diverges`

@@ -1,0 +1,11 @@
+//go:build (amd64 || arm64) && !noasm
+
+// Package asmpair exercises the asm/fallback pairing analyzer. This file
+// plays the role of prefetch_asm.go: body-less declarations backed by
+// assembly, selected on asm-capable builds.
+package asmpair
+
+// Prefetch is correctly paired: good_noasm.go declares it with an identical
+// signature (parameter names may differ) under the complementary
+// constraint. Nothing is flagged.
+func Prefetch(p *int32)

@@ -1,0 +1,7 @@
+//go:build noasm || !(amd64 || arm64)
+
+package asmpair
+
+// Prefetch is the portable no-op fallback; the differing parameter name is
+// deliberate (signature identity ignores names).
+func Prefetch(q *int32) {}

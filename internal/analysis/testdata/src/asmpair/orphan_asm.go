@@ -1,0 +1,7 @@
+//go:build orphanasm && !noasm
+
+package asmpair
+
+// Orphan has no fallback declaration at all: builds outside its constraint
+// cannot link.
+func Orphan(p *int32) // want `no declaration selected`

@@ -1,0 +1,9 @@
+//go:build dualasm && !noasm
+
+package asmpair
+
+// Overlap is declared twice under constraints that are NOT complementary:
+// under dualasm && !noasm both files are selected (duplicate symbol), and
+// under !dualasm && !noasm neither is (missing symbol). Both failure modes
+// are reported, aggregated with an example tag assignment each.
+func Overlap(p *int32) // want `no declaration selected` `declarations selected under`

@@ -1,0 +1,5 @@
+//go:build dualasm || noasm
+
+package asmpair
+
+func Overlap(p *int32) {}

@@ -1,0 +1,15 @@
+// Command grappolo is a fixture of the public CLI, which is held to the
+// same public-API-only rule as the examples.
+package main
+
+import (
+	"grappolo"
+	"grappolo/internal/par" // want `imports internal package grappolo/internal/par`
+)
+
+func main() {
+	_ = grappolo.Version()
+	par.ForChunk(1, 1, 0, noop)
+}
+
+func noop(lo, hi int) {}

@@ -1,0 +1,9 @@
+// Command clean is a fixture example that sticks to the public API;
+// nothing is flagged.
+package main
+
+import "grappolo"
+
+func main() {
+	_ = grappolo.Version()
+}

@@ -1,0 +1,15 @@
+// Command demo is a fixture example that illegally reaches into the
+// internal tree.
+package main
+
+import (
+	"grappolo"
+	"grappolo/internal/par" // want `imports internal package grappolo/internal/par`
+)
+
+func main() {
+	_ = grappolo.Version()
+	par.ForChunk(1, 1, 0, noop)
+}
+
+func noop(lo, hi int) {}

@@ -1,0 +1,4 @@
+// Package grappolo is a fixture stub of the public API root package.
+package grappolo
+
+func Version() string { return "fixture" }

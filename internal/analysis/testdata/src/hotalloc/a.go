@@ -1,0 +1,83 @@
+// Package hotalloc exercises the //grappolo:hotpath directive checks.
+package hotalloc
+
+import "fmt"
+
+type state struct {
+	keys []int32
+	vals []float64
+}
+
+// cold uses every banned construct but carries no directive: nothing is
+// flagged, the directive is opt-in.
+func cold(n int) map[int]int {
+	m := map[int]int{}
+	for i := 0; i < n; i++ {
+		m[i] = i
+	}
+	fmt.Println(n)
+	return m
+}
+
+// hotClean appends only to receiver-rooted and parameter slices — the
+// pooled-scratch discipline the kernels follow — so it is clean.
+//
+//grappolo:hotpath
+func (st *state) hotClean(buf []float64, k int32, w float64) []float64 {
+	st.keys = append(st.keys, k)
+	st.vals = append(st.vals, w)
+	buf = append(buf, w)
+	return buf
+}
+
+//grappolo:hotpath
+func hotMapLit() map[int]int {
+	return map[int]int{1: 1} // want `map literal`
+}
+
+//grappolo:hotpath
+func hotMapInsert(m map[int]int, k int) {
+	m[k] = k // want `inserts into a map`
+}
+
+//grappolo:hotpath
+func hotFmt(n int) {
+	fmt.Println(n) // want `calls fmt\.Println`
+}
+
+//grappolo:hotpath
+func hotAppendLocal(n int) []int {
+	var out []int
+	for i := 0; i < n; i++ {
+		out = append(out, i) // want `appends to a slice not rooted in a parameter`
+	}
+	return out
+}
+
+//grappolo:hotpath
+func hotClosure(n int) int {
+	f := func() int { return n } // want `creates a func literal`
+	return f()
+}
+
+func sink(v any) {}
+
+//grappolo:hotpath
+func hotBoxArg(x int) {
+	sink(x) // want `boxing`
+}
+
+//grappolo:hotpath
+func hotBoxConvert(x int) any {
+	return any(x) // want `boxing`
+}
+
+// hotCallsOk: calls with concrete arguments, interface-typed values passed
+// through, and conversions between concrete types are all fine.
+//
+//grappolo:hotpath
+func hotCallsOk(st *state, v any, x int) any {
+	st.hotClean(nil, int32(x), float64(x))
+	sink(v) // already an interface: no boxing here
+	return v
+}

@@ -1,0 +1,64 @@
+// Package typederr exercises the typed-error analyzer: sentinel errors are
+// matched with errors.Is, never compared by identity, and wraps keep the
+// chain with %w.
+package typederr
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrOverloaded is this fixture's exported sentinel.
+var ErrOverloaded = errors.New("typederr: overloaded")
+
+// errInternal is unexported: identity comparison against package-private
+// errors that are never wrapped is conventional and out of scope.
+var errInternal = errors.New("typederr: internal")
+
+type faultError struct{ msg string }
+
+func (e *faultError) Error() string { return e.msg }
+
+// Is implements the errors.Is hook; identity comparison HERE is the
+// intended implementation technique and is exempt.
+func (e *faultError) Is(target error) bool { return target == ErrOverloaded }
+
+func badEqual(err error) bool {
+	if err == ErrOverloaded { // want `errors\.Is\(err, ErrOverloaded\)`
+		return true
+	}
+	return err != ErrOverloaded // want `errors\.Is\(err, ErrOverloaded\)`
+}
+
+func badSwitch(err error) int {
+	switch err {
+	case ErrOverloaded: // want `switch case compares against sentinel ErrOverloaded`
+		return 1
+	case nil:
+		return 0
+	}
+	return 2
+}
+
+func badWrap(err error) error {
+	return fmt.Errorf("serving failed: %v", err) // want `without %w`
+}
+
+func badWrapConcrete(e *faultError) error {
+	return fmt.Errorf("engine: %s", e) // want `without %w`
+}
+
+func okWrap(err error) error {
+	return fmt.Errorf("serving failed: %w", err)
+}
+
+func okNonError(n int) error {
+	return fmt.Errorf("bad request count %d", n)
+}
+
+func ok(err error) bool {
+	if errors.Is(err, ErrOverloaded) {
+		return true
+	}
+	return err == errInternal || err == nil
+}

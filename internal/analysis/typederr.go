@@ -1,0 +1,177 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// TypedErr mechanizes the PR 6 typed-error contract: ErrOverloaded,
+// ErrEngineFault and ErrNilGraph are SENTINELS matched through errors.Is —
+// the concrete values callers see are wrapper types (overloadError,
+// EngineFaultError) whose Is methods claim the sentinel. Comparing with ==
+// or != therefore works today for some paths and silently never matches on
+// others; and fmt.Errorf wrapping without %w strips the sentinel so even
+// errors.Is stops matching downstream. Both defects type-check and pass
+// happy-path tests, which is exactly why they get an analyzer.
+var TypedErr = &Analyzer{
+	Name: "typederr",
+	Doc: "sentinel errors must be matched with errors.Is and wrapped with %w\n\n" +
+		"Flags ==/!= comparisons (and switch cases) against exported package sentinel\n" +
+		"errors (package-level vars named Err*), and fmt.Errorf calls that are handed an\n" +
+		"error but whose format verbs never wrap it with %w.",
+	Run: runTypedErr,
+}
+
+func runTypedErr(pass *Pass) error {
+	errorType := types.Universe.Lookup("error").Type()
+	for _, f := range pass.Files {
+		var stack []ast.Node
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n == nil {
+				stack = stack[:len(stack)-1]
+				return true
+			}
+			stack = append(stack, n)
+			switch x := n.(type) {
+			case *ast.BinaryExpr:
+				if x.Op != token.EQL && x.Op != token.NEQ {
+					return true
+				}
+				if inIsMethod(pass, stack) {
+					return true // the canonical errors.Is hook compares by identity
+				}
+				for _, side := range []ast.Expr{x.X, x.Y} {
+					if v := sentinelVar(pass, side, errorType); v != nil {
+						pass.Reportf(x.Pos(),
+							"comparing against sentinel %s with %s; use errors.Is(err, %s) — concrete wrapper errors match only through Is",
+							v.Name(), x.Op, v.Name())
+						break
+					}
+				}
+			case *ast.SwitchStmt:
+				// switch err { case ErrX: } compares with == too.
+				if x.Tag == nil || inIsMethod(pass, stack) {
+					return true
+				}
+				tagT := pass.TypesInfo.Types[x.Tag].Type
+				if tagT == nil || !types.Identical(tagT, errorType) {
+					return true
+				}
+				for _, stmt := range x.Body.List {
+					cc, ok := stmt.(*ast.CaseClause)
+					if !ok {
+						continue
+					}
+					for _, e := range cc.List {
+						if v := sentinelVar(pass, e, errorType); v != nil {
+							pass.Reportf(e.Pos(),
+								"switch case compares against sentinel %s with ==; use errors.Is(err, %s)",
+								v.Name(), v.Name())
+						}
+					}
+				}
+			case *ast.CallExpr:
+				checkErrorfWrap(pass, x, errorType)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// sentinelVar reports whether e denotes a package-level exported error
+// variable named Err* declared in a grappolo package (or the package under
+// analysis), returning it if so.
+func sentinelVar(pass *Pass, e ast.Expr, errorType types.Type) *types.Var {
+	var id *ast.Ident
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = x
+	case *ast.SelectorExpr:
+		id = x.Sel
+	default:
+		return nil
+	}
+	v, ok := pass.TypesInfo.Uses[id].(*types.Var)
+	if !ok || v.Pkg() == nil || v.Parent() != v.Pkg().Scope() {
+		return nil
+	}
+	if !strings.HasPrefix(v.Name(), "Err") || len(v.Name()) <= 3 {
+		return nil
+	}
+	if !types.Identical(v.Type(), errorType) {
+		return nil
+	}
+	// Only this module's sentinels are in scope: stdlib identities like
+	// io.EOF are conventionally ==-comparable.
+	path := v.Pkg().Path()
+	return ifSentinelPkg(pass, path, v)
+}
+
+func ifSentinelPkg(pass *Pass, path string, v *types.Var) *types.Var {
+	if path == pass.Pkg.Path() || path == "grappolo" || strings.HasPrefix(path, "grappolo/") ||
+		strings.Contains(path, "/grappolo/") {
+		return v
+	}
+	return nil
+}
+
+// inIsMethod reports whether the innermost enclosing function declaration is
+// an `Is(error) bool` method — the one place identity comparison against a
+// sentinel is the intended implementation technique.
+func inIsMethod(pass *Pass, stack []ast.Node) bool {
+	for i := len(stack) - 1; i >= 0; i-- {
+		fd, ok := stack[i].(*ast.FuncDecl)
+		if !ok {
+			continue
+		}
+		if fd.Recv == nil || fd.Name.Name != "Is" {
+			return false
+		}
+		sig, ok := pass.TypesInfo.Defs[fd.Name].Type().(*types.Signature)
+		if !ok {
+			return false
+		}
+		errorType := types.Universe.Lookup("error").Type()
+		return sig.Params().Len() == 1 &&
+			types.Identical(sig.Params().At(0).Type(), errorType) &&
+			sig.Results().Len() == 1 &&
+			types.Identical(sig.Results().At(0).Type(), types.Typ[types.Bool])
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf calls that receive an error argument but
+// whose constant format string contains no %w verb: the wrap drops the
+// chain, so errors.Is/As stop seeing the sentinel.
+func checkErrorfWrap(pass *Pass, call *ast.CallExpr, errorType types.Type) {
+	fn := calleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "fmt" || fn.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	tv := pass.TypesInfo.Types[call.Args[0]]
+	if tv.Value == nil || tv.Value.Kind() != constant.String {
+		return
+	}
+	format := constant.StringVal(tv.Value)
+	if strings.Contains(format, "%w") {
+		return
+	}
+	for _, arg := range call.Args[1:] {
+		t := pass.TypesInfo.Types[arg].Type
+		if t == nil {
+			continue
+		}
+		if types.Identical(t, errorType) || (!types.IsInterface(t) && types.Implements(t, errorType.Underlying().(*types.Interface))) {
+			pass.Reportf(call.Pos(),
+				"fmt.Errorf formats an error argument without %%w; the sentinel chain is lost to errors.Is — wrap with %%w (or use a non-error value deliberately)")
+			return
+		}
+	}
+}

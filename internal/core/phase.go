@@ -205,6 +205,8 @@ func (st *phaseState) refreshAggregates(from []int32, workers int) {
 // kernel is a pure restructuring of the historical single-function decide —
 // identical arc visit order, identical float expressions — so decisions stay
 // bit-identical across kernels and arc layouts.
+//
+//grappolo:hotpath
 func (st *phaseState) decide(i int, membership []int32, acc *par.SparseAccum, atomicAgg, atomicComm bool) int32 {
 	switch {
 	case atomicComm:
@@ -218,6 +220,8 @@ func (st *phaseState) decide(i int, membership []int32, acc *par.SparseAccum, at
 
 // decideSnap is decide for uncolored snapshot sweeps: plain membership and
 // aggregate reads (no other vertex mutates them during the sweep).
+//
+//grappolo:hotpath
 func (st *phaseState) decideSnap(i int, membership []int32, acc *par.SparseAccum) int32 {
 	var ci int32
 	if st.inter {
@@ -241,6 +245,8 @@ func (st *phaseState) decideSnap(i int, membership []int32, acc *par.SparseAccum
 // winning the uncolored one). Live decides therefore always read the split
 // CSR, which is retained under either layout; results are identical because
 // both layouts hold the same arcs in the same order.
+//
+//grappolo:hotpath
 func (st *phaseState) decideLive(i int, membership []int32, acc *par.SparseAccum) int32 {
 	ci := st.accumSnapSplit(i, membership, acc)
 	if st.obj == ObjCPM {
@@ -252,6 +258,8 @@ func (st *phaseState) decideLive(i int, membership []int32, acc *par.SparseAccum
 // decideAsync is decide for asynchronous live-state sweeps: adjacent
 // vertices move concurrently, so memberships AND aggregates are read
 // atomically.
+//
+//grappolo:hotpath
 func (st *phaseState) decideAsync(i int, membership []int32, acc *par.SparseAccum) int32 {
 	var ci int32
 	if st.inter {
@@ -284,6 +292,8 @@ const prefetchMinVertices = 1 << 18
 // on cache-resident graphs). Rows shorter than a batch get a single scalar
 // hint for their first target; under the noasm build tag every hint
 // compiles to an inlined no-op.
+//
+//grappolo:hotpath
 func (st *phaseState) prefetchRow(i int, membership []int32) {
 	if st.inter {
 		row := st.g.ArcRow(i)
@@ -303,6 +313,8 @@ func (st *phaseState) prefetchRow(i int, membership []int32) {
 // prefetchRowSplit is prefetchRow over the split id stream. The colored
 // sweep bodies call it directly regardless of layout, matching decideLive's
 // split-only reads.
+//
+//grappolo:hotpath
 func (st *phaseState) prefetchRowSplit(i int, membership []int32) {
 	nbr, _ := st.g.Neighbors(i)
 	n := len(nbr)
@@ -322,6 +334,8 @@ func (st *phaseState) prefetchRowSplit(i int, membership []int32) {
 // 0), which is what keeps the min-label tie-breaks bit-stable. This flat
 // accumulation replaced the paper's per-vertex STL map (§5.5): one array
 // write per arc, O(1) reset, zero allocations in steady state.
+//
+//grappolo:hotpath
 func (st *phaseState) accumSnapSplit(i int, membership []int32, acc *par.SparseAccum) int32 {
 	ci := membership[i]
 	nbr, wts := st.g.Neighbors(i)
@@ -339,6 +353,8 @@ func (st *phaseState) accumSnapSplit(i int, membership []int32, acc *par.SparseA
 // accumSnapInter is accumSnapSplit over the INTERLEAVED arc stream: each
 // neighbor visit reads one packed (id, weight) element from a single
 // sequential stream instead of gathering from two.
+//
+//grappolo:hotpath
 func (st *phaseState) accumSnapInter(i int, membership []int32, acc *par.SparseAccum) int32 {
 	ci := membership[i]
 	row := st.g.ArcRow(i)
@@ -355,6 +371,8 @@ func (st *phaseState) accumSnapInter(i int, membership []int32, acc *par.SparseA
 
 // accumAsyncSplit is accumSnapSplit with atomic membership loads (async
 // sweeps move adjacent vertices concurrently).
+//
+//grappolo:hotpath
 func (st *phaseState) accumAsyncSplit(i int, membership []int32, acc *par.SparseAccum) int32 {
 	ci := atomicLoad32(&membership[i])
 	nbr, wts := st.g.Neighbors(i)
@@ -370,6 +388,8 @@ func (st *phaseState) accumAsyncSplit(i int, membership []int32, acc *par.Sparse
 }
 
 // accumAsyncInter is accumAsyncSplit over the interleaved arc stream.
+//
+//grappolo:hotpath
 func (st *phaseState) accumAsyncInter(i int, membership []int32, acc *par.SparseAccum) int32 {
 	ci := atomicLoad32(&membership[i])
 	row := st.g.ArcRow(i)
@@ -388,6 +408,8 @@ func (st *phaseState) accumAsyncInter(i int, membership []int32, acc *par.Sparse
 // reads, applying the generalized and singlet minimum-label heuristics of
 // §5.1 (equal gains resolve to the smaller label; a singlet may enter
 // another singlet community only downward, preventing the §4.2 swap cycles).
+//
+//grappolo:hotpath
 func (st *phaseState) bestModPlain(i int, ci int32, acc *par.SparseAccum) int32 {
 	comms := acc.Keys() // first-touch order, comms[0] == ci
 	eOwn := acc.Val(ci) // e_{i→C(i)\{i}}
@@ -426,6 +448,8 @@ func (st *phaseState) bestModPlain(i int, ci int32, acc *par.SparseAccum) int32 
 
 // bestModAtomic is bestModPlain with atomic aggregate reads (colored and
 // async sweeps mutate commDeg/size concurrently).
+//
+//grappolo:hotpath
 func (st *phaseState) bestModAtomic(i int, ci int32, acc *par.SparseAccum) int32 {
 	comms := acc.Keys()
 	eOwn := acc.Val(ci)
@@ -463,6 +487,8 @@ func (st *phaseState) bestModAtomic(i int, ci int32, acc *par.SparseAccum) int32
 
 // bestCPMPlain picks the max-gain move under the CPM objective (ΔH/m with
 // the size-based penalty, future work iv) with plain aggregate reads.
+//
+//grappolo:hotpath
 func (st *phaseState) bestCPMPlain(i int, ci int32, acc *par.SparseAccum) int32 {
 	comms := acc.Keys()
 	eOwn := acc.Val(ci)
@@ -495,6 +521,8 @@ func (st *phaseState) bestCPMPlain(i int, ci int32, acc *par.SparseAccum) int32 
 }
 
 // bestCPMAtomic is bestCPMPlain with atomic aggregate reads.
+//
+//grappolo:hotpath
 func (st *phaseState) bestCPMAtomic(i int, ci int32, acc *par.SparseAccum) int32 {
 	comms := acc.Keys()
 	eOwn := acc.Val(ci)
@@ -528,6 +556,8 @@ func (st *phaseState) bestCPMAtomic(i int, ci int32, acc *par.SparseAccum) int32
 
 // applyMove atomically migrates vertex i's contributions from community old
 // to next (degree, count, and CPM node size when tracked).
+//
+//grappolo:hotpath
 func (st *phaseState) applyMove(i int, old, next int32) {
 	ki := st.g.Degree(i)
 	par.AddFloat64(&st.commDeg[old], -ki)
@@ -569,6 +599,8 @@ func (st *phaseState) sweepUncolored(workers int) {
 // sweepColoredSet processes one color set: vertices decide in parallel
 // reading the LIVE community state and update the aggregates atomically on
 // migration.
+//
+//grappolo:hotpath
 func sweepColoredSet(st *phaseState, w, lo, hi int) {
 	if st.stop() { // per-chunk cancellation check; results are discarded
 		return
@@ -680,6 +712,8 @@ func mergedSetLen(st *phaseState, s int) int { return len(st.mergeSets[s]) }
 // sweepMergedSet is sweepColoredSet for one stage of a merged run of small
 // color sets: identical decide/apply semantics, the set simply comes from
 // the staged pass instead of curSet.
+//
+//grappolo:hotpath
 func sweepMergedSet(st *phaseState, s, w, lo, hi int) {
 	if st.stop() { // per-chunk cancellation check; results are discarded
 		return

@@ -78,6 +78,8 @@ func (a *SparseAccum) Grow(universe int) {
 // Reset forgets all touched keys in O(1): it bumps the generation so every
 // slot's stamp becomes stale and truncates the key list. Values are left in
 // place — they are unreadable until their slot is re-stamped by Add/Ensure.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Reset() {
 	a.keys = a.keys[:0]
 	if a.gen == 1<<31-1 { // int32 exhaustion after ~2^31 Resets: re-zero stamps
@@ -92,6 +94,8 @@ func (a *SparseAccum) Reset() {
 // Ensure registers key k with value 0 if it has not been touched this epoch.
 // Used to pin a vertex's own community at keys[0] even when no neighbor
 // shares it (e_{i→C(i)\{i}} may legitimately be 0).
+//
+//grappolo:hotpath
 func (a *SparseAccum) Ensure(k int32) {
 	s := &a.slots[k]
 	if s.mark != a.gen {
@@ -102,6 +106,8 @@ func (a *SparseAccum) Ensure(k int32) {
 }
 
 // Add accumulates w onto key k, registering k on first touch.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Add(k int32, w float64) {
 	s := &a.slots[k]
 	if s.mark == a.gen {
@@ -119,9 +125,13 @@ func (a *SparseAccum) Add(k int32, w float64) {
 // decide selection loop where every candidate community is by construction
 // a touched key. Reading an untouched key returns garbage from an earlier
 // epoch; use Get when in doubt.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Val(k int32) float64 { return a.slots[k].val }
 
 // Get returns the accumulated value for k, or 0 if k is untouched.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Get(k int32) float64 {
 	s := &a.slots[k]
 	if s.mark != a.gen {
@@ -131,11 +141,15 @@ func (a *SparseAccum) Get(k int32) float64 {
 }
 
 // Len returns the number of distinct keys touched since Reset.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Len() int { return len(a.keys) }
 
 // Keys returns the touched keys in first-touch order. The slice aliases
 // internal storage: it is valid until the next Reset, and callers may
 // reorder it in place (e.g. sort it) — values stay addressable via Get.
+//
+//grappolo:hotpath
 func (a *SparseAccum) Keys() []int32 { return a.keys }
 
 // SortInt32 sorts a small int32 slice ascending: insertion sort for the

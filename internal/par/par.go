@@ -293,8 +293,12 @@ func SumFloat64Ctx[C any](ctx C, n, p int, f func(ctx C, i int) float64) float64
 		}
 		return s
 	}
+	// The closure-based ForStatic is deliberate here: the parallel path
+	// allocates for its goroutines anyway, and the ...Ctx contract
+	// (capturebody-enforced) reserves the Ctx helpers for captureless
+	// bodies. The allocation-free case is the p == 1 early return above.
 	partials := make([]float64, p)
-	ForStaticCtx(partials, n, p, func(partials []float64, w, lo, hi int) {
+	ForStatic(n, p, func(w, lo, hi int) {
 		s := 0.0
 		for i := lo; i < hi; i++ {
 			s += f(ctx, i)

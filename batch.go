@@ -5,7 +5,6 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
-	"weak"
 
 	"grappolo/internal/core"
 	"grappolo/internal/faults"
@@ -39,13 +38,15 @@ import (
 // retry, and the first retrier becomes the new leader (re-entering
 // admission at the back of the queue).
 //
-// Fingerprint caveat: the sampled hash makes coalescing O(1) in graph size,
-// at the price of a one-sided guarantee — two large graphs that agree on
-// vertex count, arc count and total weight and differ only in arcs the
-// sample stride skips would be treated as identical and served one result.
-// Graphs under the sample budget (64 rows/arcs) are hashed in full. Route
-// only traffic for which this is acceptable through a Batcher; the Pool
-// itself never coalesces.
+// Correctness of coalescing: the sampled fingerprint keeps batch LOOKUP
+// O(1) in graph size, but it is only the first-pass filter — before any
+// request is served a shared result, its graph's exact full-content hash
+// (Graph.StrongHash, computed once per immutable graph and memoized) is
+// compared with the leader's. Two large graphs that agree on vertex count,
+// arc count, total weight and every sampled arc but differ elsewhere
+// therefore land in the same batch slot yet are NEVER served each other's
+// result: the mismatching follower diverts to its own uncoalesced pool
+// run. Collisions cost a batching opportunity, not correctness.
 //
 // A Batcher is safe for concurrent use by multiple goroutines.
 type Batcher struct {
@@ -55,20 +56,10 @@ type Batcher struct {
 	inflight map[graph.Fingerprint]*batch
 	free     *batch // recycled batch records (and their pooled shared Results)
 
-	lastFP   atomic.Pointer[fpCacheEntry]
 	joins    atomic.Int64 // followers attached (test observability)
 	batched  atomic.Int64 // followers actually served by a shared run
 	canceled atomic.Int64
-}
-
-// fpCacheEntry caches the fingerprint of the most recently seen graph
-// pointer — the pointer-identity fast path for serving loops that hammer
-// one resident graph. The graph is held weakly: a cache entry must not keep
-// the largest graph a long-lived Batcher ever served alive after every
-// caller has dropped it.
-type fpCacheEntry struct {
-	g  weak.Pointer[Graph]
-	fp graph.Fingerprint
+	diverted atomic.Int64 // sampled-collision followers served uncoalesced
 }
 
 // errDetectPanicked is fanned out to followers when a batch's engine run
@@ -85,7 +76,8 @@ var errDetectPanicked error = &EngineFaultError{Panic: "batched engine run panic
 type batch struct {
 	mu        sync.Mutex
 	key       graph.Fingerprint
-	sealed    bool // no more joiners; set when the outcome is fanned out (and while free-listed)
+	strong    uint64 // leader graph's exact content hash; joiners must match
+	sealed    bool   // no more joiners; set when the outcome is fanned out (and while free-listed)
 	followers []*follower
 	shared    *Result // pooled run target, reused across generations
 	next      *batch  // Batcher free list
@@ -156,9 +148,14 @@ func (b *Batcher) DetectInto(ctx context.Context, g *Graph, res *Result) (*Resul
 	if ctx == nil {
 		ctx = context.Background()
 	}
-	key := b.fingerprintOf(g)
+	// Both hashes are memoized on the Graph itself (computed at most once
+	// per immutable graph, shared by every Batcher and Cache that sees it),
+	// so a warm serving loop — even one alternating between several resident
+	// graphs — pays two atomic loads here, no hashing and no allocation.
+	key := g.Fingerprint()
+	strong := g.StrongHash()
 	for {
-		out, err, retry := b.once(ctx, g, key, res)
+		out, err, retry := b.once(ctx, g, key, strong, res)
 		if !retry {
 			return out, err
 		}
@@ -173,39 +170,25 @@ func (b *Batcher) DetectInto(ctx context.Context, g *Graph, res *Result) (*Resul
 	}
 }
 
-// fingerprintOf returns g's fingerprint, skipping the hash when g is the
-// same *Graph the previous call saw (the resident-graph serving loop). The
-// weak reference cannot resurrect a freed graph, and a live g on this call
-// stack can never alias a *different* graph the cache saw — pointer
-// equality of two live *Graphs is exact identity.
-func (b *Batcher) fingerprintOf(g *Graph) graph.Fingerprint {
-	if c := b.lastFP.Load(); c != nil && c.g.Value() == g {
-		return c.fp
-	}
-	fp := g.Fingerprint()
-	b.lastFP.Store(&fpCacheEntry{g: weak.Make(g), fp: fp})
-	return fp
-}
-
 // once makes a single lead-or-follow attempt. retry means the observed
 // batch was already sealed and the caller should re-resolve.
-func (b *Batcher) once(ctx context.Context, g *Graph, key graph.Fingerprint, res *Result) (out *Result, err error, retry bool) {
+func (b *Batcher) once(ctx context.Context, g *Graph, key graph.Fingerprint, strong uint64, res *Result) (out *Result, err error, retry bool) {
 	b.mu.Lock()
 	ba := b.inflight[key]
 	if ba == nil {
-		ba = b.takeBatch(key)
+		ba = b.takeBatch(key, strong)
 		b.inflight[key] = ba
 		b.mu.Unlock()
 		return b.lead(ctx, g, ba, res)
 	}
 	b.mu.Unlock()
-	return b.follow(ctx, ba, key, res)
+	return b.follow(ctx, g, ba, key, strong, res)
 }
 
 // takeBatch pops a recycled batch record (or allocates one) and arms it for
 // key. Caller holds b.mu; the nested ba.mu acquisition (b.mu → ba.mu) is
 // safe because no code path holds ba.mu while taking b.mu.
-func (b *Batcher) takeBatch(key graph.Fingerprint) *batch {
+func (b *Batcher) takeBatch(key graph.Fingerprint, strong uint64) *batch {
 	ba := b.free
 	if ba == nil {
 		ba = &batch{}
@@ -218,6 +201,7 @@ func (b *Batcher) takeBatch(key graph.Fingerprint) *batch {
 	// the new key — never a torn mix.
 	ba.mu.Lock()
 	ba.key = key
+	ba.strong = strong
 	ba.sealed = false
 	ba.mu.Unlock()
 	return ba
@@ -302,7 +286,7 @@ func (b *Batcher) recycle(ba *batch) {
 }
 
 // follow joins an in-flight batch and waits for its outcome or ctx.
-func (b *Batcher) follow(ctx context.Context, ba *batch, key graph.Fingerprint, res *Result) (*Result, error, bool) {
+func (b *Batcher) follow(ctx context.Context, g *Graph, ba *batch, key graph.Fingerprint, strong uint64, res *Result) (*Result, error, bool) {
 	f := &follower{ready: make(chan struct{}, 1), res: res}
 	ba.mu.Lock()
 	if ba.sealed || ba.key != key {
@@ -310,6 +294,16 @@ func (b *Batcher) follow(ctx context.Context, ba *batch, key graph.Fingerprint, 
 		// lookup and the join — re-resolve.
 		ba.mu.Unlock()
 		return nil, nil, true
+	}
+	if ba.strong != strong {
+		// Sampled-fingerprint collision: this graph matches the leader's on
+		// every sampled arc but not in full content. Joining would serve it
+		// the leader's result for a DIFFERENT graph, so divert to a private
+		// uncoalesced run instead — correctness over the batching win.
+		ba.mu.Unlock()
+		b.diverted.Add(1)
+		out, err := b.pool.DetectInto(ctx, g, res)
+		return out, err, false
 	}
 	ba.followers = append(ba.followers, f)
 	ba.mu.Unlock()

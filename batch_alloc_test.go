@@ -47,6 +47,39 @@ func TestBatcherWarmZeroAllocs(t *testing.T) {
 	if res.NumCommunities <= 1 || res.Modularity <= 0 {
 		t.Fatalf("degenerate result nc=%d Q=%v", res.NumCommunities, res.Modularity)
 	}
+
+	// Alternating between two resident graphs must stay zero-alloc too. The
+	// old fingerprint fast path cached only the single most recent *Graph,
+	// so a loop ping-ponging between two graphs missed it on EVERY request
+	// and allocated a fresh cache record each time — the memoized per-Graph
+	// hashes have no such thrash mode. Separate recycled Results per graph
+	// keep the copy-out shape stable.
+	g2 := generate.MustGenerate(generate.RGG, generate.Small, 1, 1)
+	res2, err := b.Detect(ctx, g2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ { // settle both arenas
+		if res, err = b.DetectInto(ctx, g, res); err != nil {
+			t.Fatal(err)
+		}
+		if res2, err = b.DetectInto(ctx, g2, res2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	allocs = testing.AllocsPerRun(4, func() {
+		res, err = b.DetectInto(ctx, g, res)
+		if err != nil {
+			return
+		}
+		res2, err = b.DetectInto(ctx, g2, res2)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("warm alternating two-graph Batcher.DetectInto allocates %v times per round, want 0", allocs)
+	}
 }
 
 // TestBatcherFollowerAllocsBounded pins the follower side: a coalesced

@@ -1,0 +1,146 @@
+package grappolo_test
+
+import (
+	"context"
+	"testing"
+
+	"grappolo"
+	"grappolo/internal/generate"
+)
+
+// TestCacheHitZeroAllocs extends the serving-path allocation gate to the
+// cache: a warm exact hit — memoized fingerprint and strong-hash loads,
+// store lookup, LRU bump, and the copy-out into the caller's recycled
+// Result — performs ZERO allocations. This is the contract that makes the
+// cache safe to put in front of every request: a hit costs table work, not
+// garbage.
+func TestCacheHitZeroAllocs(t *testing.T) {
+	if raceEnabled {
+		t.Skip("allocation accounting is not meaningful under -race")
+	}
+	g := generate.MustGenerate(generate.RGG, generate.Small, 0, 1)
+	pool, err := grappolo.NewPool(1, grappolo.Workers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := grappolo.NewCache(pool)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	res, err := c.Detect(ctx, g) // cold: populate the entry
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err = c.DetectInto(ctx, g, res) // settle the recycled Result's shape
+	if err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(5, func() {
+		res, err = c.DetectInto(ctx, g, res)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if allocs != 0 {
+		t.Errorf("warm Cache.DetectInto hit allocates %v times per request, want 0", allocs)
+	}
+	if res.NumCommunities <= 1 || res.Modularity <= 0 {
+		t.Fatalf("degenerate result nc=%d Q=%v", res.NumCommunities, res.Modularity)
+	}
+	if led := pool.Stats().Led; led != 1 {
+		t.Errorf("Led = %d, want 1 (only the cold run touches an engine)", led)
+	}
+}
+
+// BenchmarkCacheDetect compares the three serving tiers the cache layers
+// over one pool: cold (every request invalidated first — the uncached
+// baseline plus admission overhead), hit (exact repeat served by copy-out),
+// and delta (a small perturbation routed onto the seeded incremental
+// maintainer instead of a cold run). hit/cold is the caching win; delta sits
+// between them and is the paper's real-time future-work item as a serving
+// fast path.
+func BenchmarkCacheDetect(b *testing.B) {
+	g := generate.MustGenerate(generate.RGG, generate.ScaleFromEnv(), 0, 0)
+	newCache := func(b *testing.B, copts ...grappolo.CacheOption) *grappolo.Cache {
+		pool, err := grappolo.NewPool(1, grappolo.Workers(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		c, err := grappolo.NewCache(pool, copts...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		return c
+	}
+	ctx := context.Background()
+	b.Run("cold", func(b *testing.B) {
+		c := newCache(b)
+		var res *grappolo.Result
+		var err error
+		if res, err = c.Detect(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.InvalidateAll()
+			if res, err = c.DetectInto(ctx, g, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("hit", func(b *testing.B) {
+		c := newCache(b)
+		var res *grappolo.Result
+		var err error
+		if res, err = c.Detect(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if res, err = c.DetectInto(ctx, g, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("delta", func(b *testing.B) {
+		c := newCache(b, grappolo.DeltaEdits(8))
+		// A two-edge perturbation of g: within the edit budget, so every
+		// iteration (after invalidating the variant's own entry) re-routes
+		// the diff onto a maintainer seeded from the base entry.
+		n := int32(g.N())
+		var edges []grappolo.Edge
+		for u := int32(0); u < n; u++ {
+			nbrs, ws := g.Neighbors(int(u))
+			for k, v := range nbrs {
+				if v >= u {
+					edges = append(edges, grappolo.Edge{U: u, V: v, W: ws[k]})
+				}
+			}
+		}
+		variant := grappolo.FromEdges(g.N(), append(edges,
+			grappolo.Edge{U: 0, V: n / 2, W: 0.5},
+			grappolo.Edge{U: 1, V: n/2 + 1, W: 0.5}), 0)
+		var res *grappolo.Result
+		var err error
+		if _, err = c.Detect(ctx, g); err != nil {
+			b.Fatal(err)
+		}
+		if res, err = c.Detect(ctx, variant); err != nil {
+			b.Fatal(err)
+		}
+		if !res.Incremental {
+			b.Fatal("variant was not delta-routed; benchmark would measure the wrong tier")
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Invalidate(variant)
+			if res, err = c.DetectInto(ctx, variant, res); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

@@ -41,7 +41,7 @@ type suite struct {
 // serving tiers that funnel into them.
 var defaultSuites = []suite{
 	{Pkg: "./internal/core", Bench: "^(BenchmarkDecideSweep|BenchmarkSweepUncolored|BenchmarkSweepColored|BenchmarkSweepAsyncPLM|BenchmarkRebuildParallel)$", Benchtime: "30x"},
-	{Pkg: ".", Bench: "^(BenchmarkPoolDetect|BenchmarkBatcherDetect|BenchmarkShardedDetect)$", Benchtime: "3x"},
+	{Pkg: ".", Bench: "^(BenchmarkPoolDetect|BenchmarkBatcherDetect|BenchmarkShardedDetect|BenchmarkCacheDetect)$", Benchtime: "3x"},
 }
 
 // result is one parsed benchmark line.

@@ -18,6 +18,14 @@
 //	grappolo -input rgg -serve -shards 4 -exchange 2
 //	                                        # …sharded: ghost-label-exchange
 //	                                        #   partitioned detection
+//	grappolo -input rgg -serve -cache -cachettl 1m
+//	                                        # …cached: repeated identical
+//	                                        #   graphs served with zero
+//	                                        #   engine runs
+//	grappolo -input rgg -serve -cache -delta 64
+//	                                        # …with near-identical re-uploads
+//	                                        #   routed onto the incremental
+//	                                        #   maintainer
 package main
 
 import (
@@ -73,6 +81,10 @@ func run(args []string) error {
 		degrade   = fs.Int("degrade", 0, "with -serve: guard the stack, serving requests queued at this depth or beyond with the degraded fast profile (0 = off)")
 		shards    = fs.Int("shards", 0, "with -serve: serve through the Sharded tier, partitioning the graph into this many shards with ghost-label exchange (0 = off)")
 		exchange  = fs.Int("exchange", 2, "with -serve -shards: ghost-label exchange rounds between shard sweeps")
+		cacheOn   = fs.Bool("cache", false, "with -serve: put a result Cache in front of the backend (repeated identical graphs are served with zero engine runs)")
+		cachettl  = fs.Duration("cachettl", 0, "with -serve -cache: entry time-to-live (0 = until evicted)")
+		cacheByt  = fs.Int64("cachebytes", 0, "with -serve -cache: resident byte budget for cached graphs+results (0 = default 256 MiB)")
+		delta     = fs.Int("delta", 0, "with -serve -cache: edge-edit budget for routing near-identical re-uploads onto the incremental maintainer instead of a cold run (0 = off)")
 		layoutF   = fs.String("layout", "split", "arc layout of the input graph: split | interleaved (coarse graphs inherit it; results are bit-identical, only runtimes differ)")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -101,12 +113,19 @@ func run(args []string) error {
 	if *shards < 0 || *exchange < 0 {
 		return fmt.Errorf("invalid sharding flag (-shards >= 0, -exchange >= 0)")
 	}
+	if *cachettl < 0 || *cacheByt < 0 || *delta < 0 {
+		return fmt.Errorf("invalid cache flag (-cachettl >= 0, -cachebytes >= 0, -delta >= 0)")
+	}
+	if !*cacheOn && (*cachettl > 0 || *cacheByt > 0 || *delta > 0) {
+		return fmt.Errorf("-cachettl, -cachebytes and -delta require -cache")
+	}
 	if *serve {
 		if *batch && *shards > 0 {
 			return fmt.Errorf("-batch and -shards are mutually exclusive (a Batcher coalesces pool runs, a Sharded partitions them)")
 		}
 		return serveDemo(g, *workers, *batch, *clients, *requests, *quiet,
-			*maxqueue, *deadline, *degrade, *shards, *exchange)
+			*maxqueue, *deadline, *degrade, *shards, *exchange,
+			*cacheOn, *cachettl, *cacheByt, *delta)
 	}
 	if *batch {
 		return fmt.Errorf("-batch requires -serve")
@@ -116,6 +135,9 @@ func run(args []string) error {
 	}
 	if *shards > 0 {
 		return fmt.Errorf("-shards requires -serve")
+	}
+	if *cacheOn {
+		return fmt.Errorf("-cache requires -serve")
 	}
 
 	var membership []int32
@@ -264,9 +286,12 @@ func run(args []string) error {
 // degraded fast profile (marked in the stats line). -shards swaps the
 // backend for the Sharded tier: every request is answered by a partitioned
 // ghost-label-exchange detection whose shard sweeps draw engines from the
-// same pool.
+// same pool. -cache fronts the stack with a result cache: under this demo's
+// duplicate load, every request after the first is an exact hit served with
+// zero engine runs.
 func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int, quiet bool,
-	maxqueue int, deadline time.Duration, degrade, shards, exchange int) error {
+	maxqueue int, deadline time.Duration, degrade, shards, exchange int,
+	cacheOn bool, cachettl time.Duration, cacheBytes int64, delta int) error {
 	if clients < 1 || requests < 1 {
 		return fmt.Errorf("-serve needs positive -clients and -requests")
 	}
@@ -293,6 +318,25 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 		backend = sharded
 		detect = sharded.DetectInto
 		mode = fmt.Sprintf("pool+sharded(%d×%d)", shards, exchange)
+	}
+	var cache *grappolo.Cache
+	if cacheOn {
+		var copts []grappolo.CacheOption
+		if cachettl > 0 {
+			copts = append(copts, grappolo.CacheTTL(cachettl))
+		}
+		if cacheBytes > 0 {
+			copts = append(copts, grappolo.CacheBytes(cacheBytes))
+		}
+		if delta > 0 {
+			copts = append(copts, grappolo.DeltaEdits(delta))
+		}
+		if cache, err = grappolo.NewCache(backend, copts...); err != nil {
+			return err
+		}
+		backend = cache
+		detect = cache.DetectInto
+		mode += "+cache"
 	}
 	var guard *grappolo.Guard
 	if maxqueue >= 0 || deadline > 0 || degrade > 0 {
@@ -371,6 +415,12 @@ func serveDemo(g *grappolo.Graph, workers int, batch bool, clients, requests int
 	if !quiet {
 		fmt.Printf("  engine runs=%d coalesced=%d queued=%d canceled=%d\n",
 			st.Led, st.Batched, st.Waited, st.Canceled)
+		if cache != nil {
+			cst := cache.Stats()
+			fmt.Printf("  cache: hits=%d misses=%d delta=%d evicted=%d expired=%d rejected=%d entries=%d bytes=%d\n",
+				cst.Hits, cst.Misses, cst.DeltaRouted, cst.Evictions,
+				cst.Expired, cst.Rejected, cst.Entries, cst.Bytes)
+		}
 		if guard != nil {
 			fmt.Printf("  guard: shed=%d degraded=%d recovered=%d\n",
 				gst.Shed, gst.Degraded, gst.Recovered)

@@ -61,15 +61,17 @@
 //	res, err := bat.Detect(ctx, g) // duplicates coalesce; result is private
 //
 // When coalescing applies: requests are grouped by a structural graph
-// fingerprint (pointer-identity fast path, then exact vertex/arc counts and
-// weight sum plus a sampled CSR content hash) while they overlap in flight;
-// a request arriving after the shared run sealed starts a new batch. All
+// fingerprint (exact vertex/arc counts and weight sum plus a sampled CSR
+// content hash, memoized on the Graph) while they overlap in flight; a
+// request arriving after the shared run sealed starts a new batch. All
 // requests through one Batcher share its pool's options, so only graph
-// identity varies. Fingerprint caveat: the sampled hash is O(1) in graph
-// size, so two LARGE graphs agreeing on vertex/arc counts and total weight
-// that differ only in unsampled arcs would be coalesced wrongly; graphs
-// under the 64-sample budget are hashed in full. Traffic for which that
-// risk is unacceptable should use the Pool directly.
+// identity varies. The sampled fingerprint is only the O(1) first-pass
+// filter: before a request shares a run, its graph's exact full-content
+// hash (Graph.StrongHash, computed once per immutable graph and memoized)
+// must match the batch leader's. A sampled-hash collision therefore costs
+// the batching win — the colliding request runs privately on the pool —
+// never correctness: no request is ever served a result computed for a
+// different graph.
 //
 // Fairness and cancellation: pool admission is FIFO (a fair semaphore — no
 // barging, so no request starves behind later arrivals), batch leaders
@@ -183,11 +185,54 @@
 // concurrent sharded traffic. Results are deterministic for a fixed graph
 // and configuration at any worker count.
 //
+// # Serving from cache: repeats and near-repeats across time
+//
+// The Batcher coalesces duplicates that overlap IN FLIGHT; Cache extends
+// the same economics across time. It fronts a Pool, Batcher or Sharded
+// backend with a TTL + LRU result cache keyed by the graph's exact content
+// and the backend's engine options:
+//
+//	c, err := grappolo.NewCache(bat,
+//		grappolo.CacheTTL(time.Minute),     // serve an entry at most this long
+//		grappolo.CacheBytes(1<<30),         // estimated-resident-bytes budget
+//		grappolo.DeltaEdits(64),            // route small edits incrementally
+//	)
+//	...
+//	res, err := c.Detect(ctx, g) // an exact repeat runs NO engine at all
+//
+// An exact repeat — a dashboard refresh, a retry, another tenant uploading
+// the same public dataset — is served bit-identical to the run that
+// populated the entry, deep-copied out so the caller owns it, with zero
+// engine runs and (into a recycled Result) zero allocations (pinned by
+// TestCacheHitZeroAllocs; BenchmarkCacheDetect measures the cold/hit/delta
+// tiers). Lookups use the same sampled fingerprint as the Batcher but every
+// hit and every admission is verified against the exact Graph.StrongHash,
+// so a sampled collision degrades to an uncached run (CacheStats.Rejected),
+// never to serving another graph's membership.
+//
+// With DeltaEdits(k), a miss within k edge INSERTIONS (including weight
+// increases) of a cached graph skips the cold run too: the CSR diff is
+// replayed onto an incremental maintainer seeded from the cached
+// membership — the streaming tier applied to re-uploads — and the result is
+// marked Result.Incremental: a valid clustering of the requested graph
+// whose quality tracks incremental Louvain (re-anchored per
+// DeltaRefreshFraction) rather than matching a cold run bit-for-bit.
+// Deletions and rewires always fall through to the backend. A Cache
+// composes under a Guard (NewGuard accepts it as a backend), is safe for
+// concurrent use, and exposes Invalidate/InvalidateAll for callers whose
+// graphs stop describing reality — see Stream.OnApply below.
+//
 // Streaming workloads use NewStream, which maintains communities under
 // live edge insertions with batched incremental updates and pooled full
-// re-detections. Synthetic inputs reproducing the paper's 11-graph suite
-// live in grappolo/generate; partition-agreement measures (Table 3) in
-// grappolo/quality.
+// re-detections. AddEdge rejects weights that are not positive finite
+// numbers with ErrBadEdgeWeight (a NaN or Inf would corrupt the live
+// modularity bookkeeping irreversibly), FlushCtx surfaces cancellation of
+// the full re-detections a flush can escalate to (the overlay stays
+// consistent and the refresh is retried on the next flush), and OnApply
+// registers a post-batch hook — the natural place to call Cache.Invalidate
+// for the stream's seed graph. Synthetic inputs reproducing the paper's
+// 11-graph suite live in grappolo/generate; partition-agreement measures
+// (Table 3) in grappolo/quality.
 //
 // The algorithms, experiment harness and serial baselines live under
 // internal/ (internal/core, internal/graph, internal/coloring,

@@ -28,6 +28,11 @@ func (p *Pool) AvailablePermits() int { return p.sem.Available() }
 // the attach-time signal).
 func (b *Batcher) JoinedFollowers() int64 { return b.joins.Load() }
 
+// DivertedFollowers returns how many would-be followers were refused by the
+// strong-hash check (sampled-fingerprint collision with the in-flight
+// leader's graph) and served by a private uncoalesced pool run instead.
+func (b *Batcher) DivertedFollowers() int64 { return b.diverted.Load() }
+
 // IdleEngines returns the number of engines currently parked in the idle
 // list — the quarantine tests' proof that a panicked engine was dropped
 // (its slot stays empty until a later request lazily re-creates one).

@@ -199,11 +199,12 @@ func MaxInFlight(n int) GuardOption {
 	}
 }
 
-// NewGuard wraps backend — a *Pool, *Batcher or *Sharded — in a Guard. With no
-// options the Guard only adds panic quarantine; shedding, deadlines and
-// degradation are enabled by their respective options. Configuration
-// errors (negative bounds, a degrade profile without DegradeAtDepth, an
-// invalid degraded option combination) are returned, never coerced.
+// NewGuard wraps backend — a *Pool, *Batcher, *Sharded or *Cache — in a
+// Guard. With no options the Guard only adds panic quarantine; shedding,
+// deadlines and degradation are enabled by their respective options.
+// Configuration errors (negative bounds, a degrade profile without
+// DegradeAtDepth, an invalid degraded option combination) are returned,
+// never coerced.
 func NewGuard(backend Detecter, gopts ...GuardOption) (*Guard, error) {
 	var pool *Pool
 	switch b := backend.(type) {
@@ -213,8 +214,10 @@ func NewGuard(backend Detecter, gopts ...GuardOption) (*Guard, error) {
 		pool = b.Pool()
 	case *Sharded:
 		pool = b.Pool()
+	case *Cache:
+		pool = b.Pool()
 	default:
-		return nil, fmt.Errorf("grappolo: NewGuard needs a *Pool, *Batcher or *Sharded backend, got %T", backend)
+		return nil, fmt.Errorf("grappolo: NewGuard needs a *Pool, *Batcher, *Sharded or *Cache backend, got %T", backend)
 	}
 	c := guardConfig{maxQueue: -1}
 	for _, o := range gopts {
@@ -408,7 +411,8 @@ func (gd *Guard) Stats() GuardStats {
 	return s
 }
 
-// backendStats reads the PoolStats of either backend shape.
+// backendStats reads the PoolStats of either backend shape. A Cache is
+// transparent here — engine-side counters live on whatever it wraps.
 func backendStats(b Detecter) PoolStats {
 	switch b := b.(type) {
 	case *Pool:
@@ -417,6 +421,8 @@ func backendStats(b Detecter) PoolStats {
 		return b.Stats()
 	case *Sharded:
 		return b.Stats()
+	case *Cache:
+		return backendStats(b.backend)
 	}
 	return PoolStats{}
 }

@@ -144,6 +144,7 @@ func CopyResultInto(dst, src *Result) *Result {
 	dst.TotalIterations = src.TotalIterations
 	dst.Timing = src.Timing
 	dst.Degraded = src.Degraded
+	dst.Incremental = src.Incremental
 	// Per-phase traces recycle the previous copy's backing by index — the
 	// same convention runInto uses for RunInto results.
 	oldPhases := dst.Phases
@@ -383,6 +384,7 @@ func (e *Engine) runInto(ctx context.Context, g *graph.Graph, res *Result) (*Res
 	res.TotalIterations = 0
 	res.Timing = Breakdown{}
 	res.Degraded = false
+	res.Incremental = false
 	par.ForChunkCtx(res.Membership, n, workers, 0, func(mem []int32, lo, hi int) {
 		for i := lo; i < hi; i++ {
 			mem[i] = int32(i)

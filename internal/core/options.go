@@ -410,4 +410,13 @@ type Result struct {
 	// quality is approximate — fewer phases/iterations or coarser
 	// termination thresholds. The engine itself always clears it.
 	Degraded bool
+	// Incremental is set by the serving layer (grappolo.Cache) when this
+	// result was produced by routing an edge delta onto an incremental
+	// maintainer seeded from a previously cached membership rather than by
+	// a full engine run: the membership is a valid clustering of the
+	// request's graph, but its quality tracks the incremental-Louvain
+	// update (re-anchored by periodic full runs) instead of being
+	// bit-identical to a cold detection. Incremental results carry no
+	// Phases/Timing breakdown. The engine itself always clears it.
+	Incremental bool
 }

@@ -13,12 +13,24 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"fmt"
+	"math"
 
 	"grappolo/internal/core"
 	"grappolo/internal/graph"
+	"grappolo/internal/par"
 	"grappolo/internal/seq"
 )
+
+// ErrBadWeight is returned by AddEdge for a weight that is not a positive
+// finite number. NaN, ±Inf, zero and negative weights are all rejected: a
+// single NaN admitted into the overlay poisons m2, the degrees and every
+// community degree, making Modularity() NaN forever after, and a silent
+// ≤0→1 coercion would hide caller bugs the same way the pre-validation
+// Options fields used to. Match with errors.Is.
+var ErrBadWeight = errors.New("dynamic: edge weight must be a positive finite number")
 
 // Options configure the maintainer.
 type Options struct {
@@ -74,6 +86,12 @@ type Maintainer struct {
 	m2      float64
 	pending []graph.Edge
 	touched map[int32]struct{}
+	// fullRun scratch, persistent across refreshes: the snapshot edge
+	// staging buffer and the engine's run target.
+	edgeBuf []graph.Edge
+	fullRes *core.Result
+	// onApply, when set, runs after every successfully applied batch.
+	onApply func()
 	// stats
 	fullRuns     int
 	batchApplies int
@@ -82,13 +100,52 @@ type Maintainer struct {
 // New creates a maintainer seeded with an initial graph and a fresh full
 // detection run.
 func New(g *graph.Graph, opts Options) *Maintainer {
+	m := newOverlay(g, opts)
+	// The background context cannot fire; under injected faults a canceled
+	// seeding run leaves the identity assignment, which the first Flush's
+	// refresh retry re-anchors.
+	_ = m.fullRun(context.Background())
+	return m
+}
+
+// NewSeeded creates a maintainer over g adopting an existing community
+// assignment instead of running a cold full detection — the serving-tier
+// fast path: a cached membership for g seeds incremental maintenance with
+// ZERO engine runs. membership must assign every vertex of g a community id
+// in [0, g.N()); ids need not be dense. FullRuns starts at 0.
+func NewSeeded(g *graph.Graph, membership []int32, opts Options) (*Maintainer, error) {
+	m := newOverlay(g, opts)
+	n := g.N()
+	if len(membership) != n {
+		return nil, fmt.Errorf("dynamic: seed membership has %d entries for a %d-vertex graph", len(membership), n)
+	}
+	m.comm = par.Resize(m.comm, n)
+	m.commDeg = par.Resize(m.commDeg, n)
+	for i := range m.commDeg {
+		m.commDeg[i] = 0
+	}
+	for i, c := range membership {
+		if c < 0 || int(c) >= n {
+			return nil, fmt.Errorf("dynamic: seed membership[%d] = %d out of range [0, %d)", i, c, n)
+		}
+		m.comm[i] = c
+		m.commDeg[c] += m.degree[i]
+	}
+	return m, nil
+}
+
+// newOverlay builds the adjacency-map overlay of g (shared by New and
+// NewSeeded) with an identity community assignment.
+func newOverlay(g *graph.Graph, opts Options) *Maintainer {
 	opts = opts.defaults()
 	n := g.N()
 	m := &Maintainer{
 		opts:    opts,
 		engine:  core.NewEngine(opts.Full),
 		adj:     make([]map[int32]float64, n),
+		comm:    make([]int32, n),
 		degree:  make([]float64, n),
+		commDeg: make([]float64, n),
 		touched: make(map[int32]struct{}),
 	}
 	for i := 0; i < n; i++ {
@@ -99,8 +156,9 @@ func New(g *graph.Graph, opts Options) *Maintainer {
 		}
 		m.degree[i] = g.Degree(i)
 		m.m2 += g.Degree(i)
+		m.comm[i] = int32(i)
+		m.commDeg[i] = g.Degree(i)
 	}
-	m.fullRun()
 	return m
 }
 
@@ -112,11 +170,18 @@ func (m *Maintainer) N() int { return len(m.adj) }
 func (m *Maintainer) Membership() []int32 { return m.comm }
 
 // FullRuns reports how many full re-detections have happened (including the
-// initial one).
+// initial one for New-constructed maintainers; NewSeeded starts at 0).
 func (m *Maintainer) FullRuns() int { return m.fullRuns }
 
 // BatchApplies reports how many incremental batches have been applied.
 func (m *Maintainer) BatchApplies() int { return m.batchApplies }
+
+// SetOnApply registers f to run after every successfully applied batch —
+// whether it was absorbed by frontier local moves or triggered a full
+// re-detection. Serving layers use it as the invalidation hook: a cached
+// result derived from this maintainer's graph is stale the moment a batch
+// lands. A nil f clears the hook.
+func (m *Maintainer) SetOnApply(f func()) { m.onApply = f }
 
 // Modularity recomputes Eq. (3) on the live overlay.
 //
@@ -151,25 +216,62 @@ func (m *Maintainer) Modularity() float64 {
 
 // AddEdge buffers an undirected edge insertion; endpoints beyond the
 // current vertex set grow it (new vertices start as singletons). The edge
-// is applied when the buffer reaches BatchSize (or on Flush).
+// is applied when the buffer reaches BatchSize (or on Flush). A batch
+// applied from inside this call runs under the background context; use
+// AddEdgeCtx to make it cancellable.
 func (m *Maintainer) AddEdge(u, v int32, w float64) error {
+	return m.AddEdgeCtx(context.Background(), u, v, w)
+}
+
+// AddEdgeCtx is AddEdge threading ctx into any batch application (and full
+// re-detection) the insertion triggers. The edge itself is validated and
+// buffered unconditionally; only the apply can fail with ctx's error, with
+// the same recovery semantics as FlushCtx.
+func (m *Maintainer) AddEdgeCtx(ctx context.Context, u, v int32, w float64) error {
 	if u < 0 || v < 0 {
 		return fmt.Errorf("dynamic: negative vertex id (%d, %d)", u, v)
 	}
-	if w <= 0 {
-		w = 1
+	// NaN fails every ordered comparison, so w <= 0 alone would admit it —
+	// the historical bug this check pins shut. Inf survives the sign test
+	// too and overflows m2 just as irreversibly.
+	if !(w > 0) || math.IsInf(w, 0) {
+		return fmt.Errorf("%w: edge (%d, %d) has weight %v", ErrBadWeight, u, v, w)
 	}
 	m.pending = append(m.pending, graph.Edge{U: u, V: v, W: w})
 	if len(m.pending) >= m.opts.BatchSize {
-		m.Flush()
+		return m.FlushCtx(ctx)
 	}
 	return nil
 }
 
-// Flush applies all buffered edges and runs the incremental update.
-func (m *Maintainer) Flush() {
+// Flush applies all buffered edges and runs the incremental update under
+// the background context (it cannot be canceled; the only error source is
+// cancellation, so Flush cannot fail outside injected-fault builds).
+func (m *Maintainer) Flush() { _ = m.FlushCtx(context.Background()) }
+
+// FlushCtx applies all buffered edges and runs the incremental update — or
+// a full re-detection when drift crossed RefreshFraction — under ctx,
+// honoring the chunk-granular cancellation contract of the engine. On
+// cancellation the overlay is already consistent (the batch's edges, m2,
+// degrees and community degrees are applied) but the community assignment
+// is stale: the touched set is retained, so the next FlushCtx (or Flush)
+// retries the refresh. The error is ctx's error.
+func (m *Maintainer) FlushCtx(ctx context.Context) error {
 	if len(m.pending) == 0 {
-		return
+		// Nothing buffered — but a refresh owed by a previously failed
+		// full run (touched still at or past the threshold, which no
+		// successful flush leaves behind) must still be retried here, or
+		// an idle stream would stay stale until the next edge arrives.
+		if !m.refreshDue() {
+			return nil
+		}
+		if err := m.fullRun(ctx); err != nil {
+			return err
+		}
+		if m.onApply != nil {
+			m.onApply()
+		}
+		return nil
 	}
 	m.batchApplies++
 	for _, e := range m.pending {
@@ -193,12 +295,30 @@ func (m *Maintainer) Flush() {
 	}
 	m.pending = m.pending[:0]
 
-	if float64(len(m.touched)) >= m.opts.RefreshFraction*float64(len(m.adj)) {
-		m.fullRun()
-		return
+	if m.refreshDue() {
+		if err := m.fullRun(ctx); err != nil {
+			return err
+		}
+	} else {
+		m.localOptimize()
 	}
-	m.localOptimize()
+	if m.onApply != nil {
+		m.onApply()
+	}
+	return nil
 }
+
+// refreshDue reports whether accumulated drift has crossed the
+// full-re-detection threshold.
+func (m *Maintainer) refreshDue() bool {
+	return float64(len(m.touched)) >= m.opts.RefreshFraction*float64(len(m.adj))
+}
+
+// Grow extends the vertex set to cover ids [0, n); new vertices join as
+// singleton communities with fresh labels. Callers feeding an edge delta
+// use it to cover trailing ISOLATED vertices of the target graph, which no
+// inserted edge would ever mention.
+func (m *Maintainer) Grow(n int) { m.grow(n) }
 
 // grow extends the vertex set to n vertices; new vertices are singleton
 // communities with a fresh label.
@@ -272,28 +392,44 @@ func (m *Maintainer) localOptimize() {
 	}
 }
 
-// fullRun rebuilds a CSR snapshot and re-detects with the pooled engine
-// (scratch recycled from the previous full run), resetting drift tracking.
-func (m *Maintainer) fullRun() {
+// fullRun rebuilds a CSR snapshot and re-detects with the pooled engine,
+// resetting drift tracking. All per-refresh scratch is persistent: the
+// edge staging buffer, the engine's run target (RunIntoCtx recycles its
+// membership/phase/trace arrays), the community-degree array and the
+// touched set are reused across refreshes, so a steady stream of refreshes
+// allocates only the snapshot CSR itself. On a ctx error nothing below the
+// overlay is modified — comm, commDeg and touched keep their pre-refresh
+// values and the refresh re-arms on the next flush.
+func (m *Maintainer) fullRun(ctx context.Context) error {
 	n := len(m.adj)
-	b := graph.NewBuilder(n) // explicit n keeps trailing isolated vertices
+	m.edgeBuf = m.edgeBuf[:0]
 	for u := range m.adj {
 		for v, w := range m.adj[u] {
 			if int32(u) <= v {
-				b.AddEdge(int32(u), v, w)
+				m.edgeBuf = append(m.edgeBuf, graph.Edge{U: int32(u), V: v, W: w})
 			}
 		}
 	}
-	g := b.Build(m.opts.Workers)
-	// Engine.Run (not RunInto): m.comm must survive the next full run.
-	res := m.engine.Run(g)
-	m.comm = res.Membership
-	m.commDeg = make([]float64, n)
+	g := graph.FromEdges(n, m.edgeBuf, m.opts.Workers)
+	res, err := m.engine.RunIntoCtx(ctx, g, m.fullRes)
+	if err != nil {
+		return err
+	}
+	m.fullRes = res
+	// Copy rather than alias: the next refresh reuses res's membership as
+	// engine scratch, and m.comm must survive it.
+	m.comm = par.Resize(m.comm, n)
+	copy(m.comm, res.Membership)
+	m.commDeg = par.Resize(m.commDeg, n)
+	for i := range m.commDeg {
+		m.commDeg[i] = 0
+	}
 	for i := 0; i < n; i++ {
 		m.commDeg[m.comm[i]] += m.degree[i]
 	}
-	m.touched = make(map[int32]struct{})
+	clear(m.touched)
 	m.fullRuns++
+	return nil
 }
 
 // Snapshot materializes the current overlay as an immutable Graph, e.g. for

@@ -1,6 +1,8 @@
 package dynamic
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
@@ -239,5 +241,152 @@ func TestEmptyStart(t *testing.T) {
 	}
 	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
 		t.Fatalf("overlay %v vs snapshot %v", got, want)
+	}
+}
+
+// TestAddEdgeRejectsBadWeights pins the weight-validation fix: NaN used to
+// slip through the `w <= 0` sign test (NaN compares false) and poison
+// m2/degree/commDeg into a permanently-NaN Modularity, and non-positive
+// weights were silently coerced to 1. All now fail typed, and the overlay
+// is untouched.
+func TestAddEdgeRejectsBadWeights(t *testing.T) {
+	m := New(twoCliques(), Options{Full: smallFull(), BatchSize: 1})
+	qBefore := m.Modularity()
+	for _, w := range []float64{math.NaN(), math.Inf(1), math.Inf(-1), 0, -3} {
+		err := m.AddEdge(0, 7, w)
+		if !errors.Is(err, ErrBadWeight) {
+			t.Fatalf("AddEdge(w=%v) = %v, want ErrBadWeight", w, err)
+		}
+	}
+	if len(m.pending) != 0 {
+		t.Fatalf("rejected edges were buffered: %d pending", len(m.pending))
+	}
+	if q := m.Modularity(); q != qBefore || math.IsNaN(q) {
+		t.Fatalf("rejected edges perturbed the overlay: Q %v -> %v", qBefore, q)
+	}
+	// A valid edge still lands.
+	if err := m.AddEdge(0, 7, 0.5); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFlushCtxCanceled pins the cancellation fix: a refresh-triggered full
+// re-detection honors ctx (the engine's chunk-granular contract), the
+// overlay stays consistent, and the next uncancelled flush recovers by
+// re-running the refresh.
+func TestFlushCtxCanceled(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: smallFull(), BatchSize: 100, RefreshFraction: 0.01})
+	runs := m.FullRuns()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := m.AddEdgeCtx(ctx, 0, 7, 1); err != nil {
+		t.Fatalf("buffering under a dead ctx must not fail: %v", err)
+	}
+	err := m.FlushCtx(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("FlushCtx under canceled ctx = %v, want context.Canceled", err)
+	}
+	if m.FullRuns() != runs {
+		t.Fatalf("canceled refresh still counted a full run")
+	}
+	// Overlay applied, drift retained: degree and m2 include the edge.
+	if m.degree[7] != g.Degree(7)+1 {
+		t.Fatalf("canceled flush lost the applied edge: degree[7]=%v", m.degree[7])
+	}
+	if len(m.touched) == 0 {
+		t.Fatal("canceled refresh dropped the touched set; it can never re-arm")
+	}
+	// Recovery: a live-context flush retries the refresh.
+	if err := m.AddEdge(1, 8, 1); err != nil {
+		t.Fatal(err)
+	}
+	m.Flush()
+	if m.FullRuns() != runs+1 {
+		t.Fatalf("refresh did not re-arm after cancellation: runs=%d", m.FullRuns())
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay %v vs snapshot %v after recovery", got, want)
+	}
+}
+
+// TestNewSeeded pins the seeded constructor: it adopts the given membership
+// with zero engine runs, agrees with the reference modularity, and keeps
+// maintaining incrementally from that seed.
+func TestNewSeeded(t *testing.T) {
+	g := twoCliques()
+	base := New(g, Options{Full: smallFull()})
+	seed := append([]int32(nil), base.Membership()...)
+
+	m, err := NewSeeded(g, seed, Options{Full: smallFull(), BatchSize: 1, RefreshFraction: 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.FullRuns() != 0 {
+		t.Fatalf("NewSeeded ran the engine: FullRuns=%d", m.FullRuns())
+	}
+	if got, want := m.Modularity(), base.Modularity(); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("seeded overlay Q=%v, seed Q=%v", got, want)
+	}
+	if got, want := m.Modularity(), m.Quality(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("overlay %v vs snapshot %v", got, want)
+	}
+	// Incremental maintenance proceeds from the seed.
+	for _, v := range []int32{0, 1, 2, 3} {
+		if err := m.AddEdge(10, v, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if m.Membership()[10] != m.Membership()[0] {
+		t.Fatal("seeded maintainer did not absorb the new vertex")
+	}
+	if m.FullRuns() != 0 {
+		t.Fatalf("small delta triggered a full run: %d", m.FullRuns())
+	}
+}
+
+// TestNewSeededRejectsBadMembership pins seed validation.
+func TestNewSeededRejectsBadMembership(t *testing.T) {
+	g := twoCliques()
+	if _, err := NewSeeded(g, make([]int32, 3), Options{Full: smallFull()}); err == nil {
+		t.Fatal("want error for short membership")
+	}
+	bad := make([]int32, g.N())
+	bad[4] = int32(g.N())
+	if _, err := NewSeeded(g, bad, Options{Full: smallFull()}); err == nil {
+		t.Fatal("want error for out-of-range label")
+	}
+}
+
+// TestFullRunAllocsBounded pins the scratch-reuse perf fix: a warm refresh
+// reuses the staging edge buffer, the engine run target and the
+// community-degree array, so repeated refreshes allocate far less than the
+// first (which pays for all persistent scratch). The snapshot CSR itself is
+// rebuilt per refresh, so the bound is "small", not zero.
+func TestFullRunAllocsBounded(t *testing.T) {
+	g := twoCliques()
+	m := New(g, Options{Full: core.Baseline(1), BatchSize: 1, RefreshFraction: 0})
+	// RefreshFraction 0 defaults to 0.25; force refreshes via tiny fraction.
+	m.opts.RefreshFraction = 1e-9
+	// Warm every code path: a few refresh cycles.
+	for i := 0; i < 3; i++ {
+		if err := m.AddEdge(0, int32(5+i%5), 0.001); err != nil {
+			t.Fatal(err)
+		}
+		m.Flush()
+	}
+	warm := testing.AllocsPerRun(10, func() {
+		if err := m.AddEdge(1, 6, 0.001); err != nil {
+			t.Fatal(err)
+		}
+		m.Flush()
+	})
+	// The dominant remaining cost is the per-refresh snapshot CSR build
+	// (FromEdges) plus overlay map touches — tens of allocations on this
+	// 11-vertex graph. Before the fix every refresh also rebuilt the
+	// Builder's edge slab, a fresh commDeg, a fresh touched map and a full
+	// engine Result (hundreds of allocations).
+	if warm > 120 {
+		t.Fatalf("warm refresh allocates %v times, want <= 120", warm)
 	}
 }

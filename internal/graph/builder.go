@@ -173,6 +173,10 @@ func (g *Graph) normalizeRows(p int) {
 // pooled Graph (FromCSRInto) allocates nothing in steady state.
 func (g *Graph) finish(p int) {
 	n := g.N()
+	// The CSR content just changed (fresh build or a recycled header):
+	// drop any memoized identity before it can describe the wrong graph.
+	atomic.StoreUint64(&g.fpHash, 0)
+	atomic.StoreUint64(&g.strongHash, 0)
 	g.degree = par.Resize(g.degree, n)
 	g.loops = 0
 	par.ForChunkCtx(g, n, p, 0, func(g *Graph, lo, hi int) {

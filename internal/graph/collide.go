@@ -1,0 +1,35 @@
+package graph
+
+// CollidingRingPair builds two n-vertex ring graphs (n >= 10, even) whose
+// sampled Fingerprints are identical while their contents differ — the
+// adversarial input for the strong-hash admission tests. Both are the cycle
+// C_n with unit weights except two marked edges; the pair swaps the marked
+// weights. The marked edges are chosen so all four of their arc positions
+// fall off the fpSamples stride: in the canonical CSR of a ring, row i
+// starts at offset 2i, so edge {a, a+1} with even a occupies positions
+// 2a+1 (odd) and 2a+2 ≡ 2 (mod 4) — and for n in [65·2, 128·2) arcs the
+// sample stride is exactly 4. Vertex/arc counts, offsets and the (exactly
+// representable) total weight are untouched by the swap, so every sampled
+// component agrees. TestStrongHashSeesUnsampledDifferences asserts the
+// collision rather than assuming it, guarding this stride arithmetic
+// against fpSamples changes.
+func CollidingRingPair(n int) (*Graph, *Graph) {
+	if n < 10 || n%2 != 0 || n <= fpSamples || 2*n >= 4*fpSamples {
+		panic("graph: CollidingRingPair needs an even n in (fpSamples, 2*fpSamples)")
+	}
+	build := func(w23, w67 float64) *Graph {
+		b := NewBuilder(n)
+		for i := 0; i < n; i++ {
+			w := 1.0
+			switch i {
+			case 2:
+				w = w23
+			case 6:
+				w = w67
+			}
+			b.AddEdge(int32(i), int32((i+1)%n), w)
+		}
+		return b.Build(1)
+	}
+	return build(2, 3), build(3, 2)
+}

@@ -1,6 +1,9 @@
 package graph
 
-import "math"
+import (
+	"math"
+	"sync/atomic"
+)
 
 // Fingerprint is a cheap structural identity for a Graph, used by the
 // serving layer to coalesce concurrent detections on the same input: two
@@ -12,10 +15,10 @@ import "math"
 // The guarantee is one-sided: graphs that differ in N, Arcs or total weight
 // always differ, and graphs below fpSamples vertices/arcs are hashed in
 // full, but two LARGE graphs that agree on all of those and differ only in
-// arcs the sample stride skips will collide. That is the documented
-// trade-off of batching by fingerprint — callers for whom silent coalescing
-// of near-identical large graphs is unacceptable should not route them
-// through a batcher (see the grappolo package docs).
+// arcs the sample stride skips will collide. The sampled hash is therefore
+// only a first-pass filter: layers that persist results across time
+// (grappolo.Cache) confirm every sampled-fingerprint match against
+// StrongHash, the exact full-content hash, before serving a cached result.
 type Fingerprint struct {
 	N     int
 	Arcs  int64
@@ -32,10 +35,27 @@ const fpSamples = 64
 // for a given graph content (the CSR form is canonical: rows sorted,
 // duplicates merged), so equal graphs built independently fingerprint
 // equal, whatever worker count built them.
+//
+// The sampled hash is memoized on the (immutable) Graph: the first call
+// pays the O(fpSamples) scan, every later call is a single atomic load —
+// which is what lets serving layers fingerprint per request without a
+// per-layer graph-pointer cache. Concurrent first calls race benignly:
+// both compute the same value.
 func (g *Graph) Fingerprint() Fingerprint {
 	n := g.N()
 	arcs := int64(len(g.adj))
 	wbits := math.Float64bits(g.totalW)
+	h := atomic.LoadUint64(&g.fpHash)
+	if h == 0 {
+		h = g.sampledHash(n, arcs, wbits)
+		atomic.StoreUint64(&g.fpHash, h)
+	}
+	return Fingerprint{N: n, Arcs: arcs, WBits: wbits, Hash: h}
+}
+
+// sampledHash computes the sampled CSR content hash. Never returns 0 (the
+// memo's "not computed" sentinel).
+func (g *Graph) sampledHash(n int, arcs int64, wbits uint64) uint64 {
 	h := uint64(0x9e3779b97f4a7c15)
 	h = fpMix(h, uint64(n))
 	h = fpMix(h, uint64(arcs))
@@ -53,7 +73,44 @@ func (g *Graph) Fingerprint() Fingerprint {
 			h = fpMix(h, math.Float64bits(g.weights[j]))
 		}
 	}
-	return Fingerprint{N: n, Arcs: arcs, WBits: wbits, Hash: h}
+	if h == 0 {
+		h = 1
+	}
+	return h
+}
+
+// StrongHash returns the exact full-content hash of g: every offset,
+// neighbor id and weight bit is mixed in, so two graphs share a StrongHash
+// iff their canonical CSR contents are identical (up to a 2^-64 chain
+// collision — there is no sampling gap to exploit). It is the admission
+// check for layers that persist results across time: a sampled-fingerprint
+// match is only trusted once the strong hashes agree.
+//
+// The first call pays one serial O(n + arcs) scan; the value is memoized on
+// the immutable Graph, so steady-state serving reads it with an atomic load
+// and zero allocations. Concurrent first calls race benignly.
+func (g *Graph) StrongHash() uint64 {
+	if h := atomic.LoadUint64(&g.strongHash); h != 0 {
+		return h
+	}
+	h := uint64(0x6a09e667f3bcc909)
+	h = fpMix(h, uint64(g.N()))
+	h = fpMix(h, uint64(len(g.adj)))
+	h = fpMix(h, math.Float64bits(g.totalW))
+	for _, o := range g.offsets {
+		h = fpMix(h, uint64(o))
+	}
+	for _, v := range g.adj {
+		h = fpMix(h, uint64(uint32(v)))
+	}
+	for _, w := range g.weights {
+		h = fpMix(h, math.Float64bits(w))
+	}
+	if h == 0 {
+		h = 1
+	}
+	atomic.StoreUint64(&g.strongHash, h)
+	return h
 }
 
 // fpMix folds x into h with the splitmix64 finalizer — strong enough

@@ -85,3 +85,78 @@ func TestFingerprintZeroAllocs(t *testing.T) {
 		t.Errorf("Fingerprint allocates %v times, want 0", allocs)
 	}
 }
+
+// TestStrongHashEqualContent pins that the exact hash, like the sampled
+// fingerprint, identifies graphs by canonical content regardless of build
+// order or worker count.
+func TestStrongHashEqualContent(t *testing.T) {
+	edges := [][3]float64{{0, 1, 1}, {1, 2, 2}, {2, 0, 1}, {3, 3, 4}, {2, 4, 0.5}}
+	a := fpGraph(t, 6, edges)
+	reversed := make([][3]float64, len(edges))
+	for i, e := range edges {
+		reversed[len(edges)-1-i] = [3]float64{e[1], e[0], e[2]}
+	}
+	b := fpGraph(t, 6, reversed)
+	if a.StrongHash() != b.StrongHash() {
+		t.Fatalf("equal-content graphs strong-hash differently: %x vs %x",
+			a.StrongHash(), b.StrongHash())
+	}
+}
+
+// TestStrongHashSeesUnsampledDifferences builds a graph pair large enough
+// for sampled hashing and different only in arcs the sample stride skips:
+// the sampled fingerprints collide BY CONSTRUCTION while the strong hashes
+// must differ — the exact gap StrongHash exists to close.
+func TestStrongHashSeesUnsampledDifferences(t *testing.T) {
+	a, b := CollidingRingPair(100)
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatalf("construction broken: sampled fingerprints differ\n%+v\n%+v",
+			a.Fingerprint(), b.Fingerprint())
+	}
+	if a.StrongHash() == b.StrongHash() {
+		t.Fatal("strong hashes collide on graphs with different content")
+	}
+}
+
+// TestStrongHashZeroAllocsWarm pins the memoization: after the first call,
+// StrongHash is a single atomic load.
+func TestStrongHashZeroAllocsWarm(t *testing.T) {
+	g := fpGraph(t, 5, [][3]float64{{0, 1, 1}, {1, 2, 1}, {3, 4, 1}})
+	g.StrongHash()
+	allocs := testing.AllocsPerRun(100, func() { _ = g.StrongHash() })
+	if allocs != 0 {
+		t.Errorf("warm StrongHash allocates %v times, want 0", allocs)
+	}
+}
+
+// TestRecycledGraphDropsMemoizedHashes pins the finish() reset: a Graph
+// header recycled via FromCSRInto for different content must not serve the
+// previous content's memoized identity.
+func TestRecycledGraphDropsMemoizedHashes(t *testing.T) {
+	g1 := fpGraph(t, 3, [][3]float64{{0, 1, 1}, {1, 2, 1}})
+	fp1, sh1 := g1.Fingerprint(), g1.StrongHash()
+
+	// Rebuild a different graph into the same header.
+	g2 := fpGraph(t, 3, [][3]float64{{0, 1, 2}, {1, 2, 1}})
+	off := append([]int64(nil), g2.ArcOffsets()...)
+	adj := make([]int32, 0, g2.ArcCount())
+	wts := make([]float64, 0, g2.ArcCount())
+	for i := 0; i < g2.N(); i++ {
+		nbr, w := g2.Neighbors(i)
+		adj = append(adj, nbr...)
+		wts = append(wts, w...)
+	}
+	recycled, err := FromCSRInto(g1, off, adj, wts, 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if recycled.Fingerprint() == fp1 {
+		t.Error("recycled graph served the previous graph's sampled fingerprint")
+	}
+	if recycled.StrongHash() == sh1 {
+		t.Error("recycled graph served the previous graph's strong hash")
+	}
+	if recycled.Fingerprint() != g2.Fingerprint() || recycled.StrongHash() != g2.StrongHash() {
+		t.Error("recycled graph's identity does not match its content")
+	}
+}

@@ -29,6 +29,14 @@ type Graph struct {
 	totalW  float64   // 2m' = Σ k_i; m = totalW / 2
 	loops   int64     // number of self-loop arcs, cached at build time
 	maxOut  int       // max unweighted out-degree, cached at build time
+
+	// Memoized content hashes, accessed atomically (plain words, not
+	// atomic.Uint64, so a Graph header stays freely copyable). 0 means "not
+	// computed yet" — both hash functions normalize a computed 0 to 1 — and
+	// finish() resets both, which is what keeps a FromCSRInto-recycled
+	// header from serving the previous graph's identity.
+	fpHash     uint64 // sampled Fingerprint.Hash
+	strongHash uint64 // full-content hash (StrongHash)
 }
 
 // N returns the number of vertices.

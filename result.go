@@ -7,6 +7,12 @@ import "grappolo/internal/core"
 // per-phase instrumentation. See the fields of the aliased internal type;
 // the alias keeps the public surface and the engine's zero-copy result
 // recycling (DetectInto) one and the same type.
+//
+// Two serving-layer provenance flags ride on it: Degraded marks a result
+// served by a Guard's degraded fast profile, and Incremental marks one
+// produced by a Cache routing an edge delta onto the incremental
+// maintainer instead of a cold engine run. Both are always false on
+// results from a Detector, Pool, Batcher or Sharded directly.
 type Result = core.Result
 
 // PhaseStats traces one phase of a run: convergence trajectory, per-step

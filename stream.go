@@ -1,11 +1,19 @@
 package grappolo
 
 import (
+	"context"
 	"fmt"
 
 	"grappolo/internal/core"
 	"grappolo/internal/dynamic"
 )
+
+// ErrBadEdgeWeight is returned by Stream.AddEdge when the edge weight is
+// not a positive finite number (NaN, ±Inf, zero or negative). A bad weight
+// is rejected before it can touch the overlay — silently coercing it, as
+// builders do for offline input, would corrupt the live modularity
+// bookkeeping every later batch builds on.
+var ErrBadEdgeWeight = dynamic.ErrBadWeight
 
 // Stream maintains communities under a live stream of edge insertions — the
 // paper's future-work item (i), "community detection in real-time". Edge
@@ -90,11 +98,36 @@ func NewStream(seed *Graph, detectOpts []Option, streamOpts ...StreamOption) (*S
 // AddEdge buffers an undirected edge insertion; endpoints beyond the
 // current vertex set grow it (new vertices start as singleton communities).
 // The edge is applied once the buffer reaches BatchSize, or on Flush.
+// Weights that are not positive finite numbers are rejected with
+// ErrBadEdgeWeight.
 func (s *Stream) AddEdge(u, v int32, w float64) error { return s.m.AddEdge(u, v, w) }
 
+// AddEdgeCtx is AddEdge under a context: if buffering crosses BatchSize,
+// the triggered batch apply (and any full re-detection it escalates to)
+// honors ctx. See FlushCtx for the failure contract.
+func (s *Stream) AddEdgeCtx(ctx context.Context, u, v int32, w float64) error {
+	return s.m.AddEdgeCtx(ctx, u, v, w)
+}
+
 // Flush applies all buffered edges and runs the incremental update (or a
-// full re-detection if drift crossed the refresh fraction).
-func (s *Stream) Flush() { s.m.Flush() }
+// full re-detection if drift crossed the refresh fraction). A non-nil
+// error comes from the full re-detection; see FlushCtx.
+func (s *Stream) Flush() error { return s.m.FlushCtx(context.Background()) }
+
+// FlushCtx is Flush honoring ctx during the full re-detection a flush may
+// escalate to. On error the buffered edges HAVE been applied to the overlay
+// (membership for new vertices is their singleton seed), but the refresh is
+// still owed: drift accounting is retained, so the next successful flush
+// re-runs it. Incremental-only flushes cannot fail.
+func (s *Stream) FlushCtx(ctx context.Context) error { return s.m.FlushCtx(ctx) }
+
+// OnApply registers f to run after every successfully applied batch —
+// including the full re-detections flushes escalate to. Serving layers use
+// it as an invalidation hook: once the overlay drifts from the seed graph,
+// cached results for that seed no longer describe the live stream (e.g.
+// Cache.Invalidate(seed)). Must be set before edges are applied; f runs on
+// the flushing goroutine.
+func (s *Stream) OnApply(f func()) { s.m.SetOnApply(f) }
 
 // N returns the current vertex count.
 func (s *Stream) N() int { return s.m.N() }
